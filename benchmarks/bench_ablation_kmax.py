@@ -1,0 +1,43 @@
+"""Ablation: COASTS' Kmax (the paper fixes it at 3).
+
+Sweeps the maximum coarse cluster count on gzip (4 true regimes) and
+equake (6 true regimes): small Kmax under-segments (cheaper, less detail),
+large Kmax discovers the natural phase count and then saturates — the
+paper's default of 3 sits at the knee for the average benchmark.
+"""
+
+from repro.harness import ablation_coarse_kmax, format_table
+
+
+def _render(name, rows):
+    return format_table(
+        ["setting", "phases", "last position", "detail %", "CPI deviation"],
+        [[r.setting, int(r.values["phases"]),
+          f"{100 * r.values['last_position']:.1f}%",
+          f"{100 * r.values['detail_fraction']:.3f}%",
+          f"{100 * r.values['cpi_deviation']:.2f}%"] for r in rows],
+        title=f"Ablation: COASTS Kmax sweep on {name}",
+    )
+
+
+def test_ablation_coarse_kmax(benchmark, runner, save_output):
+    def sweep():
+        return {
+            name: ablation_coarse_kmax(runner, name, kmaxes=(1, 2, 3, 4, 6, 8))
+            for name in ("gzip", "equake")
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    text = "\n\n".join(_render(name, rows) for name, rows in results.items())
+    save_output("ablation_kmax", text)
+
+    for name, true_phases in (("gzip", 4), ("equake", 6)):
+        rows = results[name]
+        phases = {r.setting: r.values["phases"] for r in rows}
+        detail = {r.setting: r.values["detail_fraction"] for r in rows}
+        # phase count is monotone in Kmax and saturates at the true count
+        assert phases["kmax=1"] == 1
+        assert phases["kmax=8"] <= true_phases + 1
+        assert phases["kmax=8"] >= true_phases - 1
+        # more phases -> more detail-simulated instructions
+        assert detail["kmax=8"] >= detail["kmax=1"]

@@ -1,0 +1,43 @@
+"""Ablation: phase-classification metrics (paper Section II).
+
+The paper chooses BBVs citing two comparisons: BBVs beat working-set
+signatures (Dhodapkar & Smith, MICRO 2003), and loop frequency vectors
+perform almost as well while often finding fewer phases (Lau et al.,
+ISPASS 2004).  This bench runs fixed-length SimPoint with each metric on
+two benchmarks and checks the cited ordering.
+"""
+
+from repro.harness import ablation_metric, format_table
+
+
+def test_ablation_phase_metrics(benchmark, runner, save_output):
+    def sweep():
+        return {
+            name: ablation_metric(runner, name)
+            for name in ("gzip", "crafty")
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    blocks = []
+    for name, rows in results.items():
+        blocks.append(format_table(
+            ["metric", "points", "CPI deviation", "L2 deviation"],
+            [[r.setting, int(r.values["points"]),
+              f"{100 * r.values['cpi_deviation']:.2f}%",
+              f"{100 * r.values['l2_deviation']:.2f}%"] for r in rows],
+            title=f"Phase metrics on {name}",
+        ))
+    save_output("ablation_metrics", "\n\n".join(blocks))
+
+    for name, rows in results.items():
+        by_metric = {r.setting: r.values for r in rows}
+        # every metric yields a usable clustering
+        for values in by_metric.values():
+            assert 1 <= values["points"] <= 35
+            assert values["cpi_deviation"] < 0.5
+        # Dhodapkar & Smith: BBVs at least roughly match working sets
+        assert by_metric["bbv"]["cpi_deviation"] <= \
+            by_metric["working_set"]["cpi_deviation"] + 0.05
+        # Lau et al.: loop frequency vectors are competitive with BBVs
+        assert by_metric["loop_frequency"]["cpi_deviation"] <= \
+            by_metric["bbv"]["cpi_deviation"] + 0.10

@@ -1,0 +1,40 @@
+"""Ablation: earliest-instance vs centroid-nearest representatives.
+
+COASTS picks the *earliest* instance of each coarse phase (the paper's
+choice) rather than SimPoint's centroid-nearest pick.  This bench
+quantifies DESIGN.md decision 4: earliest instances slash the position of
+the last simulation point (and with it the functional fast-forward) at a
+bounded accuracy cost.
+"""
+
+from repro.harness import ablation_representative_policy, format_table
+
+
+def test_ablation_representative_policy(benchmark, runner, save_output):
+    def sweep():
+        return {
+            name: ablation_representative_policy(runner, name)
+            for name in ("gzip", "twolf", "mesa")
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    blocks = []
+    for name, rows in results.items():
+        blocks.append(format_table(
+            ["policy", "last position", "functional %", "CPI deviation"],
+            [[r.setting, f"{100 * r.values['last_position']:.1f}%",
+              f"{100 * r.values['functional_fraction']:.1f}%",
+              f"{100 * r.values['cpi_deviation']:.2f}%"] for r in rows],
+            title=f"Representative policy on {name}",
+        ))
+    save_output("ablation_representative", "\n\n".join(blocks))
+
+    for name, rows in results.items():
+        by_policy = {r.setting: r.values for r in rows}
+        # the earliest-instance policy never fast-forwards more than the
+        # centroid policy, and usually far less
+        assert by_policy["earliest"]["functional_fraction"] <= \
+            by_policy["centroid"]["functional_fraction"] + 1e-9
+        # both estimate CPI within a sane band
+        for values in by_policy.values():
+            assert values["cpi_deviation"] < 0.5

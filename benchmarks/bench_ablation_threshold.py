@@ -1,0 +1,46 @@
+"""Ablation: the multi-level re-sampling threshold.
+
+The paper sets it to fine-interval x Kmax = 10M x 30 = 300M: coarse points
+larger than that are re-sampled.  Sweeping it shows the trade-off the
+default balances: tiny thresholds re-sample everything (least detail, most
+second-level error), huge thresholds degenerate to plain COASTS.
+"""
+
+from repro.config import RESAMPLE_THRESHOLD, SCALE
+from repro.harness import ablation_resample_threshold, format_table
+
+THRESHOLDS = (
+    10 * SCALE,            # re-sample everything above one fine interval
+    100 * SCALE,
+    RESAMPLE_THRESHOLD,    # paper default (300M)
+    2000 * SCALE,          # effectively never re-sample
+)
+
+
+def test_ablation_resample_threshold(benchmark, runner, save_output):
+    def sweep():
+        return ablation_resample_threshold(
+            runner, "swim", thresholds=THRESHOLDS
+        )
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    save_output(
+        "ablation_threshold",
+        format_table(
+            ["setting", "leaves", "detail %", "CPI deviation"],
+            [[r.setting, int(r.values["leaves"]),
+              f"{100 * r.values['detail_fraction']:.3f}%",
+              f"{100 * r.values['cpi_deviation']:.2f}%"] for r in rows],
+            title="Ablation: multi-level re-sampling threshold on swim "
+                  "(paper default: 10M x 30 = 300M)",
+        ),
+    )
+
+    detail = [r.values["detail_fraction"] for r in rows]
+    leaves = [r.values["leaves"] for r in rows]
+    # smaller thresholds re-sample more coarse points -> more leaves,
+    # monotonically less detail as the threshold shrinks
+    assert leaves[0] >= leaves[-1]
+    assert detail[0] <= detail[-1]
+    # the degenerate huge threshold equals plain COASTS (few leaves)
+    assert leaves[-1] <= 3

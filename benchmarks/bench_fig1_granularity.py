@@ -1,0 +1,45 @@
+"""Figure 1: how granularity shapes the BBV curve and point selection.
+
+Paper figure: for lucas, the first PCA component of per-interval BBVs is
+chaotic at 10M fixed intervals (many points, some near the end) and smooth
+at coarse (outer-loop iteration) intervals (two early points).
+"""
+
+import numpy as np
+
+from repro.harness import format_table, granularity_experiment
+
+
+def test_fig1_lucas_granularity(benchmark, runner, save_output):
+    series = benchmark(granularity_experiment, runner, "lucas")
+
+    fine_last = max(series.fine_selected) / len(series.fine_values)
+    coarse_last = max(series.coarse_selected) / len(series.coarse_values)
+    text = format_table(
+        ["curve", "intervals", "selected points", "roughness",
+         "last point position"],
+        [
+            ["fine (10M)", len(series.fine_values),
+             len(series.fine_selected), series.fine_variation,
+             f"{100 * fine_last:.1f}%"],
+            ["coarse (COASTS)", len(series.coarse_values),
+             len(series.coarse_selected), series.coarse_variation,
+             f"{100 * coarse_last:.1f}%"],
+        ],
+        title="Figure 1 (lucas): fine vs coarse first-PCA-component curves",
+    )
+    # Down-sampled curve data for plotting/inspection.
+    step = max(1, len(series.fine_values) // 60)
+    sampled = np.round(series.fine_values[::step], 3).tolist()
+    coarse = np.round(series.coarse_values[: 60], 3).tolist()
+    text += (
+        f"\nfine curve (every {step}th interval): {sampled}"
+        f"\ncoarse curve (first 60 instances): {coarse}"
+    )
+    save_output("fig1_granularity", text)
+
+    # Figure 1's claims:
+    assert series.fine_variation > 2 * series.coarse_variation
+    assert len(series.fine_selected) > 3 * len(series.coarse_selected)
+    assert coarse_last < 0.2            # coarse points sit early
+    assert fine_last > coarse_last      # fine selection reaches further out

@@ -1,0 +1,32 @@
+"""Figure 3: per-benchmark speedup of COASTS over 10M SimPoint.
+
+Paper result: geometric-mean speedup 6.78x across SPEC2000, with gcc the
+pathological outlier (slower than SimPoint).  Expected shape here: most
+benchmarks several-fold faster, gcc far below 1x, art/bzip2 modest.
+"""
+
+from repro.harness import format_table, speedup_experiment
+
+
+def test_fig3_coasts_speedup(benchmark, runner, save_output):
+    series = benchmark(speedup_experiment, runner, "coasts")
+
+    rows = [[name, value] for name, value in series.speedups.items()]
+    rows.append(["GEOMEAN", series.geomean])
+    save_output(
+        "fig3_coasts_speedup",
+        format_table(
+            ["benchmark", "speedup over SimPoint"], rows,
+            title="Figure 3: COASTS speedup over 10M SimPoint "
+                  "(paper geomean: 6.78x)",
+        ),
+    )
+
+    # shape assertions (see EXPERIMENTS.md)
+    assert 2.0 < series.geomean < 12.0
+    assert series.speedups["gcc"] < 1.0          # Section V-A pathology
+    assert series.speedups["art"] < 3.0          # late phase limits gains
+    assert series.speedups["bzip2"] < 4.0
+    fast = [v for n, v in series.speedups.items()
+            if n not in ("gcc", "art", "bzip2")]
+    assert min(fast) > 2.0

@@ -1,0 +1,35 @@
+"""Figure 4: per-benchmark speedup of multi-level sampling over SimPoint.
+
+Paper result: geometric-mean speedup 14.04x; even gcc reaches ~97% of
+SimPoint's speed (the second-level re-sampling rescues the giant coarse
+point that sinks COASTS).
+"""
+
+from repro.harness import format_table, speedup_experiment
+
+
+def test_fig4_multilevel_speedup(benchmark, runner, save_output):
+    series = benchmark(speedup_experiment, runner, "multilevel")
+    coasts = speedup_experiment(runner, "coasts")
+
+    rows = [[name, value, coasts.speedups[name]]
+            for name, value in series.speedups.items()]
+    rows.append(["GEOMEAN", series.geomean, coasts.geomean])
+    save_output(
+        "fig4_multilevel_speedup",
+        format_table(
+            ["benchmark", "multilevel", "coasts"], rows,
+            title="Figure 4: multi-level speedup over 10M SimPoint "
+                  "(paper geomean: 14.04x vs 6.78x for COASTS)",
+        ),
+    )
+
+    # shape assertions
+    assert 7.0 < series.geomean < 25.0
+    assert series.geomean > coasts.geomean          # second level helps
+    # gcc recovers: multi-level is at least ~1x SimPoint (paper: 0.97x)
+    assert series.speedups["gcc"] > 0.8
+    assert series.speedups["gcc"] > 10 * coasts.speedups["gcc"]
+    # multi-level never loses badly to COASTS anywhere
+    for name, value in series.speedups.items():
+        assert value > 0.8 * coasts.speedups[name]

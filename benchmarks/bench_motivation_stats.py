@@ -1,0 +1,50 @@
+"""Section III-B motivation statistics: coarse phase counts and positions.
+
+Paper facts: with coarse-grained (outer-loop iteration) phase analysis, the
+average number of phases across SPEC2000 is three — only gzip (4), equake
+(6) and fma3d (5) exceed it — and the position of the last coarse
+simulation point averages ~17%, with only gcc (86%), art (47%) and bzip2
+(36%) above 30%.
+"""
+
+from repro.harness import format_table, motivation_experiment
+
+
+def test_motivation_phase_statistics(benchmark, runner, save_output):
+    rows = benchmark(motivation_experiment, runner, 10)
+    by_name = {row.benchmark: row for row in rows}
+
+    rendered = [
+        [row.benchmark, row.phase_count,
+         f"{100 * row.last_point_position:.1f}%", row.n_intervals]
+        for row in rows
+    ]
+    average_phases = sum(r.phase_count for r in rows) / len(rows)
+    average_position = sum(r.last_point_position for r in rows) / len(rows)
+    rendered.append(["AVERAGE", f"{average_phases:.1f}",
+                     f"{100 * average_position:.1f}%", ""])
+    save_output(
+        "motivation_stats",
+        format_table(
+            ["benchmark", "coarse phases", "last point position",
+             "iterations"],
+            rendered,
+            title="Section III-B: coarse phase statistics "
+                  "(paper: avg 3 phases / 17% position; gzip 4, equake 6, "
+                  "fma3d 5; gcc 86%, art 47%, bzip2 36%)",
+        ),
+    )
+
+    # phase-count facts
+    assert by_name["gzip"].phase_count >= 4
+    assert by_name["equake"].phase_count >= 5
+    assert by_name["fma3d"].phase_count >= 4
+    assert 2.0 <= average_phases <= 5.0
+
+    # last-point-position facts
+    assert by_name["gcc"].last_point_position > 0.7
+    assert 0.35 < by_name["art"].last_point_position < 0.6
+    assert 0.25 < by_name["bzip2"].last_point_position < 0.45
+    late = [r.benchmark for r in rows if r.last_point_position > 0.30]
+    assert set(late) <= {"gcc", "art", "bzip2"}
+    assert 0.05 < average_position < 0.30

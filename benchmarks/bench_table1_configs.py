@@ -1,0 +1,48 @@
+"""Table I: the two machine configurations.
+
+Regenerates the configuration table and benchmarks config construction +
+validation (the cheapest sanity bench in the set).
+"""
+
+from repro.config import CONFIG_A, CONFIG_B, make_config_a, make_config_b
+from repro.harness import format_table
+
+
+def _cache_str(cache) -> str:
+    assoc = "direct" if cache.assoc == 1 else f"{cache.assoc}-way"
+    return (f"{cache.size // 1024}K {assoc}, {cache.line_size}B blocks, "
+            f"{cache.latency} cycle")
+
+
+def _render() -> str:
+    rows = []
+    for field, extract in (
+        ("Issue width", lambda c: c.issue_width),
+        ("ROB/LSQ", lambda c: f"{c.rob_entries}/{c.lsq_entries}"),
+        ("Int ALUs", lambda c: c.functional_units.int_alu),
+        ("Load/store units", lambda c: c.functional_units.load_store),
+        ("FP adders", lambda c: c.functional_units.fp_add),
+        ("Int mult/div", lambda c: c.functional_units.int_mult_div),
+        ("FP mult/div", lambda c: c.functional_units.fp_mult_div),
+        ("I-cache", lambda c: _cache_str(c.icache)),
+        ("D-cache", lambda c: _cache_str(c.dcache)),
+        ("L2 cache", lambda c: _cache_str(c.l2cache)),
+        ("Branch predictor", lambda c: f"{c.branch.kind}, "
+                                       f"{c.branch.bht_entries} BHT"),
+        ("Memory latency", lambda c: f"{c.mem_latency_first}, "
+                                     f"{c.mem_latency_next} cycles"),
+    ):
+        rows.append([field, extract(CONFIG_A), extract(CONFIG_B)])
+    return format_table(
+        ["Parameter", "Config A (base)", "Config B (sensitivity)"], rows,
+        title="Table I: machine configurations",
+    )
+
+
+def test_table1_configurations(benchmark, save_output):
+    def build():
+        return make_config_a(), make_config_b()
+
+    a, b = benchmark(build)
+    assert a == CONFIG_A and b == CONFIG_B
+    save_output("table1_configs", _render())

@@ -1,0 +1,59 @@
+"""Table III: simulation-point statistics per method.
+
+Paper result (geometric means): COASTS 444M mean interval / 1.6 points /
+0.37% detail / 2.21% functional; 10M SimPoint 10M / 20.1 / 0.09% / 93.76%;
+multi-level 16M / 7.3 / 0.05% / 5.06%.  The shape to hold: COASTS has
+few, huge, early points (functional collapses, detail grows); multi-level
+keeps the functional win while shrinking detail below COASTS.
+"""
+
+from repro.config import SCALE
+from repro.harness import format_table, statistics_experiment
+
+
+def test_table3_point_statistics(benchmark, runner, save_output):
+    rows = benchmark(statistics_experiment, runner)
+    by_method = {row.method: row for row in rows}
+
+    rendered = []
+    for row in rows:
+        rendered.append([
+            row.method,
+            f"{row.mean_interval_size / SCALE:.1f}M",
+            f"{row.mean_sample_number:.1f}",
+            f"{100 * row.mean_detail_fraction:.3f}%",
+            f"{100 * row.mean_functional_fraction:.2f}%",
+        ])
+    save_output(
+        "table3_statistics",
+        format_table(
+            ["method", "mean interval (paper-M)", "mean samples",
+             "detail %", "functional %"],
+            rendered,
+            title="Table III: simulation point statistics "
+                  "(paper: COASTS 444M/1.6/0.37%/2.21%, "
+                  "SimPoint 10M/20.1/0.09%/93.76%, "
+                  "multilevel 16M/7.3/0.05%/5.06%)",
+        ),
+    )
+
+    coasts = by_method["coasts"]
+    simpoint = by_method["simpoint"]
+    multilevel = by_method["multilevel"]
+
+    # SimPoint: fixed 10M intervals, ~20 points, functional-dominated.
+    assert abs(simpoint.mean_interval_size - 10 * SCALE) < 1.0
+    assert 10 <= simpoint.mean_sample_number <= 35
+    assert simpoint.mean_functional_fraction > 0.7
+    assert simpoint.mean_detail_fraction < 0.005
+
+    # COASTS: far coarser intervals, very few points, tiny functional.
+    assert coasts.mean_interval_size > 30 * simpoint.mean_interval_size
+    assert coasts.mean_sample_number < 4
+    assert coasts.mean_functional_fraction < 0.15
+    assert coasts.mean_detail_fraction > simpoint.mean_detail_fraction
+
+    # Multi-level: detail below COASTS, functional stays collapsed.
+    assert multilevel.mean_detail_fraction < 0.5 * coasts.mean_detail_fraction
+    assert multilevel.mean_functional_fraction < 0.15
+    assert multilevel.mean_sample_number > coasts.mean_sample_number

@@ -1,0 +1,38 @@
+"""Shared fixtures for the experiment benches.
+
+Each bench regenerates one of the paper's tables or figures at full scale.
+Results are written to ``benchmarks/out/*.txt`` (and printed) so they
+survive pytest's output capture; heavy artefacts (baselines, point
+simulations) are disk-cached in ``.repro_cache``, so the first invocation
+pays the compute (~10 minutes for the whole set) and subsequent ones are
+fast.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.harness import ExperimentRunner, ResultCache
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def runner():
+    """Full-scale runner with the paper-default sampling configuration."""
+    return ExperimentRunner(cache=ResultCache())
+
+
+@pytest.fixture(scope="session")
+def save_output():
+    """Persist a bench's regenerated table under benchmarks/out/."""
+
+    def save(name: str, text: str) -> None:
+        OUT_DIR.mkdir(parents=True, exist_ok=True)
+        path = OUT_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+
+    return save

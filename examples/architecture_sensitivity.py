@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Architecture sensitivity: are the sampling plans portable across configs?
+
+A key property of SimPoint-style sampling (and Table II's config A vs B
+comparison): simulation points are chosen from *architecture-independent*
+BBV profiles, so the same plan can be simulated on any machine.  This
+example builds each method's plan once, then evaluates it under both
+Table I configurations, printing baselines, estimates and deviations side
+by side.
+
+Usage::
+
+    python examples/architecture_sensitivity.py [benchmark] [scale]
+
+defaults: mcf (memory-bound, the most config-sensitive) at full scale.
+"""
+
+import sys
+
+from repro import (
+    CONFIG_A,
+    CONFIG_B,
+    Coasts,
+    DEFAULT_SAMPLING,
+    FunctionalSimulator,
+    MultiLevelSampler,
+    SimPoint,
+    TimingSimulator,
+    build_trace,
+    evaluate_plan,
+    load_workload,
+)
+
+
+def main() -> None:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "mcf"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 1.0
+
+    trace = build_trace(load_workload(benchmark, scale=scale))
+    functional = FunctionalSimulator(trace)
+    profile = functional.profile_fixed_intervals(
+        DEFAULT_SAMPLING.fine_interval_size
+    )
+
+    # Plans are built once, from architecture-independent profiles.
+    coasts = Coasts().sample(trace)
+    plans = {
+        "simpoint": SimPoint().sample(profile, benchmark=benchmark),
+        "coasts": coasts,
+        "multilevel": MultiLevelSampler().sample(trace, coarse_plan=coasts),
+    }
+    print(f"== {benchmark}: one set of plans, two machines ==")
+    for name, plan in plans.items():
+        print(f"  {plan.describe()}")
+
+    for config in (CONFIG_A, CONFIG_B):
+        simulator = TimingSimulator(trace, config)
+        baseline = simulator.simulate_full().metrics()
+        print(f"\n-- {config.name}: D$ {config.dcache.size // 1024}K, "
+              f"L2 {config.l2cache.size // 1024}K, "
+              f"memory {config.mem_latency_first} cycles --")
+        print(f"baseline: CPI {baseline.cpi:.3f}, "
+              f"L1 {baseline.l1_hit_rate:.4f}, "
+              f"L2 {baseline.l2_hit_rate:.4f}")
+        cache = {}
+        print(f"{'method':<12} {'CPI est':>8} {'CPI dev':>8} "
+              f"{'L1 dev':>8} {'L2 dev':>8}")
+        for name, plan in plans.items():
+            evaluation = evaluate_plan(plan, simulator, baseline, cache=cache)
+            deviation = evaluation.deviation
+            print(f"{name:<12} {evaluation.estimate.cpi:>8.3f} "
+                  f"{deviation.cpi:>8.2%} {deviation.l1_hit_rate:>8.3%} "
+                  f"{deviation.l2_hit_rate:>8.3%}")
+
+    print("\nThe deviations stay comparable across configurations — the "
+          "framework is not architecture-sensitive (paper Table II).")
+
+
+if __name__ == "__main__":
+    main()

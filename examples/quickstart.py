@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Quickstart: sample one benchmark with all three methods and compare.
+
+Runs the complete pipeline on a scaled-down gzip (a few seconds):
+
+1. generate the synthetic workload and unroll its trace;
+2. profile it (fixed fine intervals + coarse outer-loop iterations);
+3. build the SimPoint, COASTS and multi-level sampling plans;
+4. run the full detailed baseline and the per-point simulations;
+5. print estimates, deviations and modelled speedups.
+
+Usage::
+
+    python examples/quickstart.py [benchmark] [scale]
+
+defaults: gzip at full (paper) scale; pass a smaller scale for a faster
+smoke run (note: far below full scale, coarse points drop under the
+re-sampling threshold and the multi-level plan degenerates to COASTS).
+"""
+
+import sys
+
+from repro import (
+    CONFIG_A,
+    Coasts,
+    DEFAULT_SAMPLING,
+    FunctionalSimulator,
+    MultiLevelSampler,
+    SimPoint,
+    TimingSimulator,
+    build_trace,
+    evaluate_plan,
+    load_workload,
+    speedup,
+)
+
+
+def main() -> None:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "gzip"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 1.0
+
+    print(f"== {benchmark} (scale {scale:g}) ==")
+    workload = load_workload(benchmark, scale=scale)
+    trace = build_trace(workload)
+    print(f"program: {workload.program.n_blocks} blocks, "
+          f"{trace.total_instructions:,} instructions, "
+          f"{trace.spec.n_outer_iterations} outer iterations")
+
+    # --- profiling (the paper's metrics-collection stage) ---------------
+    functional = FunctionalSimulator(trace)
+    fine_profile = functional.profile_fixed_intervals(
+        DEFAULT_SAMPLING.fine_interval_size
+    )
+    print(f"profiled {fine_profile.n_intervals} fine intervals of "
+          f"{fine_profile.interval_size} instructions")
+
+    # --- sampling plans ---------------------------------------------------
+    simpoint = SimPoint().sample(fine_profile, benchmark=benchmark)
+    coasts = Coasts().sample(trace)
+    multilevel = MultiLevelSampler().sample(trace, coarse_plan=coasts)
+    for plan in (simpoint, coasts, multilevel):
+        print(plan.describe())
+
+    # --- detailed simulation -------------------------------------------
+    simulator = TimingSimulator(trace, CONFIG_A)
+    baseline = simulator.simulate_full().metrics()
+    print(f"\nbaseline (full detailed run): CPI {baseline.cpi:.3f}, "
+          f"L1 hit {baseline.l1_hit_rate:.4f}, "
+          f"L2 hit {baseline.l2_hit_rate:.4f}")
+
+    cache = {}
+    print(f"\n{'method':<12} {'CPI est':>8} {'CPI dev':>8} "
+          f"{'L1 dev':>8} {'L2 dev':>8} {'speedup':>8}")
+    for plan in (simpoint, coasts, multilevel):
+        evaluation = evaluate_plan(plan, simulator, baseline, cache=cache)
+        deviation = evaluation.deviation
+        print(f"{plan.method:<12} {evaluation.estimate.cpi:>8.3f} "
+              f"{deviation.cpi:>8.2%} {deviation.l1_hit_rate:>8.3%} "
+              f"{deviation.l2_hit_rate:>8.3%} "
+              f"{speedup(plan, simpoint):>7.2f}x")
+
+    print("\n(speedups are modelled simulation-time ratios over SimPoint; "
+          "see repro.sampling.cost)")
+
+
+if __name__ == "__main__":
+    main()

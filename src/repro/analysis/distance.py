@@ -1,0 +1,51 @@
+"""Distance helpers shared by clustering and representative selection."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ClusteringError
+
+
+def squared_distances(data: np.ndarray, centers: np.ndarray) -> np.ndarray:
+    """Pairwise squared Euclidean distances: (n, d) x (k, d) -> (n, k)."""
+    data = np.asarray(data, dtype=np.float64)
+    centers = np.asarray(centers, dtype=np.float64)
+    if data.ndim != 2 or centers.ndim != 2 or data.shape[1] != centers.shape[1]:
+        raise ClusteringError("dimension mismatch in squared_distances")
+    d_norm = np.einsum("ij,ij->i", data, data)
+    c_norm = np.einsum("ij,ij->i", centers, centers)
+    cross = data @ centers.T
+    out = d_norm[:, None] - 2.0 * cross + c_norm[None, :]
+    np.maximum(out, 0.0, out=out)
+    return out
+
+
+def nearest_to_centroid(
+    data: np.ndarray, labels: np.ndarray, centroids: np.ndarray
+) -> np.ndarray:
+    """Index of the member closest to each centroid (SimPoint's pick).
+
+    Returns an array of length k; entries for empty clusters are -1.
+    """
+    data = np.asarray(data, dtype=np.float64)
+    labels = np.asarray(labels)
+    k = len(centroids)
+    picks = np.full(k, -1, dtype=np.int64)
+    distances = squared_distances(data, centroids)
+    for j in range(k):
+        members = np.flatnonzero(labels == j)
+        if len(members):
+            picks[j] = members[np.argmin(distances[members, j])]
+    return picks
+
+
+def earliest_member(labels: np.ndarray, k: int) -> np.ndarray:
+    """Index of the earliest member of each cluster (COASTS's pick)."""
+    labels = np.asarray(labels)
+    picks = np.full(k, -1, dtype=np.int64)
+    for j in range(k):
+        members = np.flatnonzero(labels == j)
+        if len(members):
+            picks[j] = members[0]
+    return picks

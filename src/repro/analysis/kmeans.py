@@ -1,0 +1,119 @@
+"""k-means clustering (k-means++ initialisation, Lloyd iterations).
+
+A from-scratch implementation so the library has no dependency beyond numpy;
+SimPoint's phase classification is plain Euclidean k-means over projected
+BBVs, run for several random seeds per k with the best inertia kept.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ClusteringError
+
+
+@dataclass(frozen=True)
+class KMeansResult:
+    """One clustering: centroids, per-point labels, and total inertia."""
+
+    centroids: np.ndarray  # (k, d)
+    labels: np.ndarray     # (n,)
+    inertia: float
+
+    @property
+    def k(self) -> int:
+        """Number of clusters."""
+        return len(self.centroids)
+
+    def cluster_sizes(self) -> np.ndarray:
+        """Points per cluster."""
+        return np.bincount(self.labels, minlength=self.k)
+
+
+def _kmeanspp_init(
+    data: np.ndarray, k: int, rng: np.random.Generator
+) -> np.ndarray:
+    """k-means++ seeding."""
+    n = len(data)
+    centroids = np.empty((k, data.shape[1]), dtype=np.float64)
+    first = int(rng.integers(n))
+    centroids[0] = data[first]
+    closest = np.sum((data - centroids[0]) ** 2, axis=1)
+    for i in range(1, k):
+        total = closest.sum()
+        if total <= 0:
+            centroids[i:] = data[int(rng.integers(n))]
+            break
+        probabilities = closest / total
+        choice = int(rng.choice(n, p=probabilities))
+        centroids[i] = data[choice]
+        distance = np.sum((data - centroids[i]) ** 2, axis=1)
+        np.minimum(closest, distance, out=closest)
+    return centroids
+
+
+def _lloyd(
+    data: np.ndarray,
+    centroids: np.ndarray,
+    max_iterations: int,
+    tolerance: float,
+) -> KMeansResult:
+    """Lloyd iterations from the given initial centroids."""
+    k = len(centroids)
+    labels = np.zeros(len(data), dtype=np.int64)
+    for _ in range(max_iterations):
+        # squared distances via ||x||^2 - 2 x.c + ||c||^2
+        cross = data @ centroids.T
+        c_norm = np.einsum("ij,ij->i", centroids, centroids)
+        distances = c_norm[None, :] - 2.0 * cross
+        new_labels = np.argmin(distances, axis=1)
+        moved = not np.array_equal(new_labels, labels)
+        labels = new_labels
+        new_centroids = centroids.copy()
+        shift = 0.0
+        for j in range(k):
+            members = data[labels == j]
+            if len(members):
+                candidate = members.mean(axis=0)
+                shift = max(shift, float(np.sum((candidate - centroids[j]) ** 2)))
+                new_centroids[j] = candidate
+        centroids = new_centroids
+        if not moved and shift <= tolerance:
+            break
+    deltas = data - centroids[labels]
+    inertia = float(np.einsum("ij,ij->", deltas, deltas))
+    return KMeansResult(centroids=centroids, labels=labels, inertia=inertia)
+
+
+def kmeans(
+    data: np.ndarray,
+    k: int,
+    seed: int = 0,
+    n_seeds: int = 5,
+    max_iterations: int = 100,
+    tolerance: float = 1e-10,
+) -> KMeansResult:
+    """Cluster *data* into *k* clusters, keeping the best of *n_seeds* runs.
+
+    ``k`` is clamped to the number of distinct points available.
+    """
+    data = np.asarray(data, dtype=np.float64)
+    if data.ndim != 2 or len(data) == 0:
+        raise ClusteringError("kmeans expects a non-empty 2-D array")
+    if k <= 0:
+        raise ClusteringError("k must be positive")
+    if n_seeds <= 0:
+        raise ClusteringError("n_seeds must be positive")
+    k = min(k, len(data))
+
+    best: KMeansResult | None = None
+    for attempt in range(n_seeds):
+        rng = np.random.default_rng(seed + attempt * 7919)
+        centroids = _kmeanspp_init(data, k, rng)
+        result = _lloyd(data, centroids, max_iterations, tolerance)
+        if best is None or result.inertia < best.inertia:
+            best = result
+    assert best is not None
+    return best

@@ -1,0 +1,83 @@
+"""Alternative phase-classification metrics (the paper's Section II).
+
+The paper justifies BBVs by citing two comparisons:
+
+* Dhodapkar & Smith (MICRO 2003): BBVs beat *working-set* signatures;
+* Lau et al. (ISPASS 2004): *loop frequency vectors* perform almost as well
+  as BBVs and can yield fewer distinct phases (fewer simulation points).
+
+Both alternatives are linear views of the interval-by-block instruction
+matrix, so they drop straight into the SimPoint pipeline in place of the
+raw BBV: loop frequency vectors keep only the loop-header columns (how
+often each loop iterated), and working-set vectors fold blocks into the
+data regions they touch (what memory the interval worked on).
+``bench_ablation_metrics.py`` reproduces the cited ordering.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..engine.profiles import FixedIntervalProfile
+from ..errors import ClusteringError
+from ..isa.program import Program
+
+#: Metric names accepted by :func:`metric_matrix`.
+METRIC_KINDS = ("bbv", "loop_frequency", "working_set")
+
+
+def loop_frequency_matrix(
+    profile: FixedIntervalProfile, program: Program
+) -> np.ndarray:
+    """Per-interval loop-iteration counts (Lau et al.'s LFV metric).
+
+    Loop bodies execute once per iteration, so the instruction mass of each
+    loop's *first body block* column, divided by that block's size, counts
+    the loop's iterations in the interval.  One column per loop.
+    """
+    headers = []
+    for loop in program.loops:
+        body_blocks = sorted(loop.blocks - {loop.header})
+        anchor = body_blocks[0] if body_blocks else loop.header
+        headers.append((anchor, program.block(anchor).size))
+    if not headers:
+        raise ClusteringError("program has no loops; LFV metric undefined")
+    columns = np.array([h[0] for h in headers])
+    sizes = np.array([h[1] for h in headers], dtype=np.float64)
+    return profile.bbv[:, columns] / sizes[None, :]
+
+
+def working_set_matrix(
+    profile: FixedIntervalProfile, program: Program
+) -> np.ndarray:
+    """Per-interval data-region access mass (a working-set signature).
+
+    Blocks are folded into the memory region their loads/stores touch; the
+    resulting vector says *what data* the interval worked on, discarding
+    the code-structure information BBVs carry.  Blocks with no memory
+    instructions contribute to a shared "compute" column.
+    """
+    n_regions = len(program.regions)
+    fold = np.zeros((program.n_blocks, n_regions + 1), dtype=np.float64)
+    for block in program.blocks:
+        mem = block.memory_instructions
+        if mem:
+            fold[block.block_id, mem[0].mem_region] = 1.0
+        else:
+            fold[block.block_id, n_regions] = 1.0
+    return profile.bbv @ fold
+
+
+def metric_matrix(
+    kind: str, profile: FixedIntervalProfile, program: Program
+) -> np.ndarray:
+    """The per-interval feature matrix for the chosen metric *kind*."""
+    if kind == "bbv":
+        return profile.bbv
+    if kind == "loop_frequency":
+        return loop_frequency_matrix(profile, program)
+    if kind == "working_set":
+        return working_set_matrix(profile, program)
+    raise ClusteringError(
+        f"unknown metric {kind!r}; choose from {METRIC_KINDS}"
+    )

@@ -1,0 +1,50 @@
+"""Principal component analysis (for Figure 1's first-component curves)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ClusteringError
+
+
+class PCA:
+    """Exact PCA via SVD of the centred data matrix."""
+
+    def __init__(self, n_components: int = 1) -> None:
+        if n_components <= 0:
+            raise ClusteringError("n_components must be positive")
+        self.n_components = n_components
+        self.mean_: np.ndarray | None = None
+        self.components_: np.ndarray | None = None
+        self.explained_variance_: np.ndarray | None = None
+
+    def fit(self, data: np.ndarray) -> "PCA":
+        """Fit on rows of *data*."""
+        data = np.asarray(data, dtype=np.float64)
+        if data.ndim != 2 or len(data) < 2:
+            raise ClusteringError("PCA needs at least two samples")
+        n_components = min(self.n_components, *data.shape)
+        self.mean_ = data.mean(axis=0)
+        centred = data - self.mean_
+        _, singular_values, vt = np.linalg.svd(centred, full_matrices=False)
+        self.components_ = vt[:n_components]
+        self.explained_variance_ = (singular_values[:n_components] ** 2) / (
+            len(data) - 1
+        )
+        return self
+
+    def transform(self, data: np.ndarray) -> np.ndarray:
+        """Project rows of *data* onto the fitted components."""
+        if self.components_ is None or self.mean_ is None:
+            raise ClusteringError("PCA.transform called before fit")
+        data = np.asarray(data, dtype=np.float64)
+        return (data - self.mean_) @ self.components_.T
+
+    def fit_transform(self, data: np.ndarray) -> np.ndarray:
+        """Fit and project in one call."""
+        return self.fit(data).transform(data)
+
+
+def first_component(data: np.ndarray) -> np.ndarray:
+    """The first principal component score of each row (Figure 1's y-axis)."""
+    return PCA(n_components=1).fit_transform(data)[:, 0]

@@ -1,0 +1,41 @@
+"""Random projection of basic-block vectors.
+
+SimPoint reduces raw BBVs (one dimension per static basic block) to 15
+dimensions with a random linear projection before clustering; the projection
+preserves relative distances well (Johnson-Lindenstrauss) while making
+k-means cheap.  We draw the projection matrix uniformly from [0, 1) with a
+fixed seed, as the SimPoint release does.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ClusteringError
+
+
+class RandomProjection:
+    """A fixed random linear map from ``n_features`` to ``dim`` dimensions."""
+
+    def __init__(self, n_features: int, dim: int, seed: int = 0) -> None:
+        if n_features <= 0 or dim <= 0:
+            raise ClusteringError("projection dimensions must be positive")
+        self.n_features = n_features
+        self.dim = dim
+        self.seed = seed
+        rng = np.random.default_rng(seed)
+        self.matrix = rng.random((n_features, dim))
+
+    def project(self, data: np.ndarray) -> np.ndarray:
+        """Project rows of *data* (n, n_features) to (n, dim)."""
+        data = np.asarray(data, dtype=np.float64)
+        squeeze = data.ndim == 1
+        if squeeze:
+            data = data[None, :]
+        if data.shape[1] != self.n_features:
+            raise ClusteringError(
+                f"projection expects {self.n_features} features, got "
+                f"{data.shape[1]}"
+            )
+        out = data @ self.matrix
+        return out[0] if squeeze else out

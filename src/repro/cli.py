@@ -1,0 +1,201 @@
+"""Command-line interface.
+
+Three subcommands drive the library without writing Python::
+
+    python -m repro run gzip                  # one benchmark, all methods
+    python -m repro suite --config b          # whole-suite summary table
+    python -m repro experiment fig3           # regenerate a paper table/figure
+
+Heavy artefacts are disk-cached exactly as in the benches (the
+``.repro_cache`` directory, or ``$REPRO_CACHE_DIR``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .config import CONFIG_A, CONFIG_B, MachineConfig
+from .harness import (
+    ExperimentRunner,
+    accuracy_experiment,
+    format_table,
+    granularity_experiment,
+    motivation_experiment,
+    speedup_experiment,
+    statistics_experiment,
+)
+from .harness.runner import BOTH_CONFIGS
+from .workloads import benchmark_names
+
+#: Experiment names accepted by the ``experiment`` subcommand.
+EXPERIMENTS = ("fig1", "fig3", "fig4", "table2", "table3", "motivation")
+
+
+def _config_of(name: str) -> MachineConfig:
+    return {"a": CONFIG_A, "b": CONFIG_B}[name.lower()]
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    runner = ExperimentRunner(workload_scale=args.scale)
+    config = _config_of(args.config)
+    run = runner.run_benchmark(args.benchmark, config)
+    print(f"{args.benchmark} on {config.name}: baseline CPI "
+          f"{run.baseline.cpi:.3f}, L1 {run.baseline.l1_hit_rate:.4f}, "
+          f"L2 {run.baseline.l2_hit_rate:.4f}")
+    rows = []
+    for method, result in run.methods.items():
+        rows.append([
+            method,
+            result.stats.n_leaves,
+            f"{result.estimate.cpi:.3f}",
+            f"{100 * result.deviation.cpi:.2f}%",
+            f"{100 * result.deviation.l1_hit_rate:.2f}%",
+            f"{100 * result.deviation.l2_hit_rate:.2f}%",
+            f"{run.speedup(method):.2f}x",
+        ])
+    print(format_table(
+        ["method", "points", "CPI est", "CPI dev", "L1 dev", "L2 dev",
+         "speedup"],
+        rows,
+    ))
+    return 0
+
+
+def _cmd_suite(args: argparse.Namespace) -> int:
+    runner = ExperimentRunner(workload_scale=args.scale)
+    config = _config_of(args.config)
+    runs = runner.run_suite(config, progress=args.progress)
+    rows = []
+    for run in runs:
+        rows.append([
+            run.benchmark,
+            f"{run.baseline.cpi:.3f}",
+            f"{100 * run.methods['coasts'].deviation.cpi:.2f}%",
+            f"{100 * run.methods['multilevel'].deviation.cpi:.2f}%",
+            f"{run.speedup('coasts'):.2f}x",
+            f"{run.speedup('multilevel'):.2f}x",
+        ])
+    print(format_table(
+        ["benchmark", "CPI", "COASTS dev", "ML dev", "COASTS spd", "ML spd"],
+        rows,
+        title=f"suite summary ({config.name})",
+    ))
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    runner = ExperimentRunner(workload_scale=args.scale)
+    name = args.name
+    if name in ("fig3", "fig4"):
+        method = "coasts" if name == "fig3" else "multilevel"
+        series = speedup_experiment(runner, method, progress=args.progress)
+        rows = [[b, f"{v:.2f}x"] for b, v in series.speedups.items()]
+        rows.append(["GEOMEAN", f"{series.geomean:.2f}x"])
+        print(format_table(["benchmark", "speedup"], rows,
+                           title=f"{name}: {method} over SimPoint"))
+    elif name == "table2":
+        table = accuracy_experiment(runner, BOTH_CONFIGS,
+                                    progress=args.progress)
+        rows = []
+        for metric in table.METRICS:
+            for method in table.methods:
+                row = [metric, method]
+                for config_name in table.config_names:
+                    cell = table.cells[(metric, method, config_name)]
+                    row.append(f"{100 * cell.average:.2f}%")
+                    row.append(f"{100 * cell.worst:.2f}%")
+                rows.append(row)
+        print(format_table(
+            ["metric", "method", "A avg", "A worst", "B avg", "B worst"],
+            rows, title="table2: deviations",
+        ))
+    elif name == "table3":
+        rows = [
+            [r.method, f"{r.mean_interval_size:.0f}",
+             f"{r.mean_sample_number:.1f}",
+             f"{100 * r.mean_detail_fraction:.3f}%",
+             f"{100 * r.mean_functional_fraction:.2f}%"]
+            for r in statistics_experiment(runner, progress=args.progress)
+        ]
+        print(format_table(
+            ["method", "mean interval", "samples", "detail %",
+             "functional %"],
+            rows, title="table3: point statistics",
+        ))
+    elif name == "motivation":
+        rows = [
+            [r.benchmark, r.phase_count,
+             f"{100 * r.last_point_position:.1f}%"]
+            for r in motivation_experiment(runner, progress=args.progress)
+        ]
+        print(format_table(
+            ["benchmark", "phases", "last position"], rows,
+            title="III-B motivation statistics",
+        ))
+    elif name == "fig1":
+        series = granularity_experiment(runner, args.benchmark or "lucas")
+        print(format_table(
+            ["curve", "intervals", "points", "roughness"],
+            [
+                ["fine", len(series.fine_values),
+                 len(series.fine_selected), f"{series.fine_variation:.3f}"],
+                ["coarse", len(series.coarse_values),
+                 len(series.coarse_selected),
+                 f"{series.coarse_variation:.3f}"],
+            ],
+            title=f"fig1: granularity on {series.benchmark}",
+        ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Multi-level phase analysis for sampling simulation "
+                    "(DATE 2013 reproduction)",
+    )
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="workload scale factor (default: 1.0)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_scale(p: argparse.ArgumentParser) -> None:
+        # accepted both before and after the subcommand
+        p.add_argument("--scale", type=float, default=argparse.SUPPRESS,
+                       help="workload scale factor (default: 1.0)")
+
+    run = sub.add_parser("run", help="run one benchmark with all methods")
+    run.add_argument("benchmark", choices=benchmark_names())
+    run.add_argument("--config", choices=("a", "b"), default="a")
+    add_scale(run)
+    run.set_defaults(func=_cmd_run)
+
+    suite = sub.add_parser("suite", help="whole-suite summary")
+    suite.add_argument("--config", choices=("a", "b"), default="a")
+    suite.add_argument("--progress", action="store_true")
+    add_scale(suite)
+    suite.set_defaults(func=_cmd_suite)
+
+    experiment = sub.add_parser(
+        "experiment", help="regenerate a paper table or figure"
+    )
+    experiment.add_argument("name", choices=EXPERIMENTS)
+    experiment.add_argument("--benchmark", default=None,
+                            help="benchmark for fig1 (default lucas)")
+    experiment.add_argument("--progress", action="store_true")
+    add_scale(experiment)
+    experiment.set_defaults(func=_cmd_experiment)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

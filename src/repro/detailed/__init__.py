@@ -1,0 +1,16 @@
+"""Detailed (cycle-accurate) simulators."""
+
+from .ooo import DEFAULT_MAX_INSTRUCTIONS, OoOSimulator
+from .results import Deviation, Metrics, SimulationResult, WeightedMetrics
+from .timing import MachineState, TimingSimulator
+
+__all__ = [
+    "DEFAULT_MAX_INSTRUCTIONS",
+    "Deviation",
+    "MachineState",
+    "Metrics",
+    "OoOSimulator",
+    "SimulationResult",
+    "TimingSimulator",
+    "WeightedMetrics",
+]

@@ -1,0 +1,150 @@
+"""Simulation result containers and derived metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import SimulationError
+
+
+@dataclass
+class SimulationResult:
+    """Raw counters accumulated by a detailed simulation.
+
+    ``mispredicts`` and the data-cache miss counters are fractional: the
+    timing simulator accumulates exact *expected* counts from its analytic
+    occupancy and branch models on top of integral event counts.
+    """
+
+    instructions: int = 0
+    cycles: float = 0.0
+    l1d_accesses: int = 0
+    l1d_misses: float = 0.0
+    l1i_accesses: int = 0
+    l1i_misses: int = 0
+    l2_accesses: float = 0.0
+    l2_misses: float = 0.0
+    branches: int = 0
+    mispredicts: float = 0.0
+
+    def merge(self, other: "SimulationResult") -> "SimulationResult":
+        """Accumulate *other* into self (returns self for chaining)."""
+        self.instructions += other.instructions
+        self.cycles += other.cycles
+        self.l1d_accesses += other.l1d_accesses
+        self.l1d_misses += other.l1d_misses
+        self.l1i_accesses += other.l1i_accesses
+        self.l1i_misses += other.l1i_misses
+        self.l2_accesses += other.l2_accesses
+        self.l2_misses += other.l2_misses
+        self.branches += other.branches
+        self.mispredicts += other.mispredicts
+        return self
+
+    # ------------------------------------------------------------------
+    @property
+    def cpi(self) -> float:
+        """Cycles per instruction."""
+        if self.instructions <= 0:
+            raise SimulationError("CPI undefined: no instructions simulated")
+        return self.cycles / self.instructions
+
+    @property
+    def l1_hit_rate(self) -> float:
+        """L1 data-cache hit rate (loads + stores)."""
+        if self.l1d_accesses <= 0:
+            return 1.0
+        return 1.0 - self.l1d_misses / self.l1d_accesses
+
+    @property
+    def l2_hit_rate(self) -> float:
+        """Unified L2 hit rate."""
+        if self.l2_accesses <= 0:
+            return 1.0
+        return 1.0 - self.l2_misses / self.l2_accesses
+
+    @property
+    def mispredict_rate(self) -> float:
+        """Branch mispredict rate."""
+        if self.branches <= 0:
+            return 0.0
+        return self.mispredicts / self.branches
+
+    def metrics(self) -> "Metrics":
+        """Snapshot of the three metrics the paper evaluates (Table II)."""
+        return Metrics(
+            cpi=self.cpi,
+            l1_hit_rate=self.l1_hit_rate,
+            l2_hit_rate=self.l2_hit_rate,
+        )
+
+
+@dataclass(frozen=True)
+class Metrics:
+    """CPI, L1 hit rate and L2 hit rate — the paper's accuracy metrics."""
+
+    cpi: float
+    l1_hit_rate: float
+    l2_hit_rate: float
+
+    def __post_init__(self) -> None:
+        if self.cpi <= 0:
+            raise SimulationError("CPI must be positive")
+        for name in ("l1_hit_rate", "l2_hit_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0 + 1e-9:
+                raise SimulationError(f"{name} out of [0, 1]: {value}")
+
+
+@dataclass(frozen=True)
+class Deviation:
+    """Deviation of an estimate from the full-run baseline.
+
+    CPI deviation is relative (``|est - true| / true``); hit-rate deviations
+    are absolute differences in rate (percentage points / 100), matching how
+    small cache deviations are reported in the paper's Table II.
+    """
+
+    cpi: float
+    l1_hit_rate: float
+    l2_hit_rate: float
+
+    @staticmethod
+    def between(estimate: Metrics, baseline: Metrics) -> "Deviation":
+        """Compute the deviation of *estimate* against *baseline*."""
+        return Deviation(
+            cpi=abs(estimate.cpi - baseline.cpi) / baseline.cpi,
+            l1_hit_rate=abs(estimate.l1_hit_rate - baseline.l1_hit_rate),
+            l2_hit_rate=abs(estimate.l2_hit_rate - baseline.l2_hit_rate),
+        )
+
+
+@dataclass
+class WeightedMetrics:
+    """Accumulate instruction-weighted metrics from per-point results."""
+
+    weight_total: float = 0.0
+    cpi_sum: float = 0.0
+    l1_sum: float = 0.0
+    l2_sum: float = 0.0
+    _count: int = field(default=0, repr=False)
+
+    def add(self, metrics: Metrics, weight: float) -> None:
+        """Add one simulation point's metrics with its phase weight."""
+        if weight < 0:
+            raise SimulationError("negative weight")
+        self.weight_total += weight
+        self.cpi_sum += metrics.cpi * weight
+        self.l1_sum += metrics.l1_hit_rate * weight
+        self.l2_sum += metrics.l2_hit_rate * weight
+        self._count += 1
+
+    def finish(self) -> Metrics:
+        """Normalise into the whole-program estimate."""
+        if self.weight_total <= 0 or self._count == 0:
+            raise SimulationError("no weighted samples accumulated")
+        return Metrics(
+            cpi=self.cpi_sum / self.weight_total,
+            l1_hit_rate=min(1.0, self.l1_sum / self.weight_total),
+            l2_hit_rate=min(1.0, self.l2_sum / self.weight_total),
+        )

@@ -1,0 +1,25 @@
+"""Dynamic trace generation, functional simulation and profiling."""
+
+from .functional import FunctionalSimulator
+from .profiles import (
+    CoarseIntervalProfile,
+    FixedIntervalProfile,
+    FunctionalResult,
+    StructureProfile,
+    StructureProfiles,
+)
+from .trace import Segment, SegmentPiece, Trace, TraceBuilder, build_trace
+
+__all__ = [
+    "CoarseIntervalProfile",
+    "FixedIntervalProfile",
+    "FunctionalResult",
+    "FunctionalSimulator",
+    "Segment",
+    "SegmentPiece",
+    "StructureProfile",
+    "StructureProfiles",
+    "Trace",
+    "TraceBuilder",
+    "build_trace",
+]

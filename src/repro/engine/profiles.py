@@ -1,0 +1,132 @@
+"""Profile containers produced by the functional simulator.
+
+A *profile* is what a profiling pass over the program (the paper's
+"collection of metrics information") yields: per-interval basic-block
+vectors plus bookkeeping.  Two interval shapes exist:
+
+* fixed-length intervals (SimPoint's 10M-instruction chunks);
+* coarse intervals aligned to outer-loop iteration instances (COASTS),
+  each also carrying per-temporal-segment sub-BBVs used to build the
+  concatenated signature vector of Section IV-A.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from ..errors import TraceError
+
+
+@dataclass(frozen=True)
+class FixedIntervalProfile:
+    """BBVs of fixed-length intervals.
+
+    ``bbv[i, b]`` is the number of instructions interval ``i`` executed in
+    basic block ``b`` (instruction-weighted BBV).  The last interval may be
+    shorter than ``interval_size``.
+    """
+
+    interval_size: int
+    starts: np.ndarray        # (n_intervals,) start instruction of each interval
+    instructions: np.ndarray  # (n_intervals,) instructions per interval
+    bbv: np.ndarray           # (n_intervals, n_blocks)
+
+    def __post_init__(self) -> None:
+        n = len(self.starts)
+        if self.bbv.shape[0] != n or len(self.instructions) != n:
+            raise TraceError("inconsistent fixed-interval profile shapes")
+        if self.interval_size <= 0:
+            raise TraceError("interval_size must be positive")
+
+    @property
+    def n_intervals(self) -> int:
+        """Number of intervals."""
+        return len(self.starts)
+
+    @property
+    def total_instructions(self) -> int:
+        """Instructions covered by the profile."""
+        return int(self.instructions.sum())
+
+    def end_of(self, index: int) -> int:
+        """End instruction (exclusive) of interval *index*."""
+        return int(self.starts[index] + self.instructions[index])
+
+
+@dataclass(frozen=True)
+class CoarseIntervalProfile:
+    """BBVs of outer-loop iteration instances (COASTS intervals).
+
+    ``segment_bbvs[i, s]`` is the BBV of the ``s``-th of ``n_segments``
+    equal temporal sub-chunks of instance ``i``; COASTS concatenates their
+    projections to form the instance's signature vector.
+    """
+
+    starts: np.ndarray        # (n_instances,)
+    instructions: np.ndarray  # (n_instances,)
+    bbv: np.ndarray           # (n_instances, n_blocks)
+    segment_bbvs: np.ndarray  # (n_instances, n_segments, n_blocks)
+
+    def __post_init__(self) -> None:
+        n = len(self.starts)
+        if (
+            self.bbv.shape[0] != n
+            or len(self.instructions) != n
+            or self.segment_bbvs.shape[0] != n
+        ):
+            raise TraceError("inconsistent coarse profile shapes")
+
+    @property
+    def n_instances(self) -> int:
+        """Number of iteration instances."""
+        return len(self.starts)
+
+    @property
+    def n_segments(self) -> int:
+        """Temporal sub-chunks per instance."""
+        return self.segment_bbvs.shape[1]
+
+    @property
+    def total_instructions(self) -> int:
+        """Instructions covered by the profile."""
+        return int(self.instructions.sum())
+
+    def end_of(self, index: int) -> int:
+        """End instruction (exclusive) of instance *index*."""
+        return int(self.starts[index] + self.instructions[index])
+
+
+@dataclass(frozen=True)
+class StructureProfile:
+    """Dynamic statistics of one cyclic program structure (loop)."""
+
+    loop_id: int
+    depth: int
+    instructions: int
+    instances: int
+    coverage: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.coverage <= 1.0:
+            raise TraceError("coverage must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class FunctionalResult:
+    """Aggregate output of a plain functional run."""
+
+    total_instructions: int
+    block_counts: np.ndarray  # executions per static block
+    block_instructions: np.ndarray  # instructions per static block
+
+    @property
+    def n_blocks(self) -> int:
+        """Number of static blocks."""
+        return len(self.block_counts)
+
+
+#: Map loop_id -> StructureProfile.
+StructureProfiles = Dict[int, StructureProfile]

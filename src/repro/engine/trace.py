@@ -1,0 +1,244 @@
+"""Dynamic trace model.
+
+The dynamic execution of a workload is materialised once, deterministically,
+as a sequence of run-length *segments*: ``Segment(blocks, reps)`` means "run
+this block sequence ``reps`` times".  Loop visits map to one header segment
+plus one body segment; glue and noise blocks map to single-rep segments.
+
+Every consumer — the functional profiler, both detailed simulators, the
+sampling cost accounting — reads the *same* trace, so baseline and sampled
+results are directly comparable, exactly as SimPoint-style methods assume
+when they mix `sim-fast` and `sim-outorder` runs of one binary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+import numpy as np
+
+from ..errors import TraceError
+from ..workloads.generator import Workload
+from ..workloads.spec import BenchmarkSpec
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A run-length piece of the dynamic trace.
+
+    ``blocks`` execute in order, the whole sequence repeating ``reps`` times.
+    ``outer_index`` is the owning outer-loop iteration (-1 in the prologue).
+    ``iter_base`` is the loop-iteration index of the first rep (0 for loop
+    visits: every visit re-sweeps its data from the start).  ``loop_id`` is
+    the inner loop id, or -1 for glue/noise segments.
+    """
+
+    blocks: Tuple[int, ...]
+    reps: int
+    outer_index: int = -1
+    iter_base: int = 0
+    loop_id: int = -1
+
+    def __post_init__(self) -> None:
+        if not self.blocks:
+            raise TraceError("segment with no blocks")
+        if self.reps < 1:
+            raise TraceError("segment reps must be >= 1")
+        if self.iter_base < 0:
+            raise TraceError("segment iter_base must be >= 0")
+
+
+@dataclass(frozen=True)
+class SegmentPiece:
+    """A whole-rep sub-range of one segment, produced by :meth:`Trace.clip`."""
+
+    segment: Segment
+    rep_offset: int
+    n_reps: int
+    start_inst: int
+
+    def __post_init__(self) -> None:
+        if self.n_reps < 1 or self.rep_offset < 0:
+            raise TraceError("invalid segment piece")
+        if self.rep_offset + self.n_reps > self.segment.reps:
+            raise TraceError("segment piece exceeds segment reps")
+
+
+class Trace:
+    """The materialised dynamic trace of one workload."""
+
+    def __init__(self, workload: Workload, segments: List[Segment]) -> None:
+        if not segments:
+            raise TraceError("empty trace")
+        self.workload = workload
+        self.program = workload.program
+        self.segments: Tuple[Segment, ...] = tuple(segments)
+
+        sizes = self.program.block_sizes
+        rep_lengths = np.array(
+            [int(sizes[list(s.blocks)].sum()) for s in segments], dtype=np.int64
+        )
+        seg_insts = rep_lengths * np.array([s.reps for s in segments],
+                                           dtype=np.int64)
+        self.rep_lengths = rep_lengths
+        self.segment_instructions = seg_insts
+        self.seg_starts = np.concatenate(
+            ([0], np.cumsum(seg_insts))
+        ).astype(np.int64)
+        self.total_instructions = int(self.seg_starts[-1])
+
+        n_outer = workload.spec.n_outer_iterations
+        outer_starts = np.full(n_outer + 1, self.total_instructions,
+                               dtype=np.int64)
+        for i, seg in enumerate(segments):
+            if seg.outer_index >= 0:
+                start = self.seg_starts[i]
+                if start < outer_starts[seg.outer_index]:
+                    outer_starts[seg.outer_index] = start
+        # Iterations are emitted in order; ends are the next start.
+        for i in range(n_outer - 1, -1, -1):
+            if outer_starts[i] > outer_starts[i + 1]:
+                outer_starts[i] = outer_starts[i + 1]
+        self.outer_starts = outer_starts
+        self.prologue_end = int(outer_starts[0])
+
+    # ------------------------------------------------------------------
+    @property
+    def spec(self) -> BenchmarkSpec:
+        """The benchmark spec this trace was unrolled from."""
+        return self.workload.spec
+
+    @property
+    def n_segments(self) -> int:
+        """Number of run-length segments."""
+        return len(self.segments)
+
+    def segment_span(self, index: int) -> Tuple[int, int]:
+        """Instruction range [start, end) covered by segment *index*."""
+        return int(self.seg_starts[index]), int(self.seg_starts[index + 1])
+
+    def locate(self, inst: int) -> int:
+        """Index of the segment containing instruction number *inst*."""
+        if not 0 <= inst < self.total_instructions:
+            raise TraceError(
+                f"instruction {inst} outside trace of "
+                f"{self.total_instructions} instructions"
+            )
+        return int(np.searchsorted(self.seg_starts, inst, side="right") - 1)
+
+    def outer_bounds(self) -> np.ndarray:
+        """(n_outer, 2) array of [start, end) per outer iteration."""
+        starts = self.outer_starts
+        return np.stack([starts[:-1], starts[1:]], axis=1)
+
+    def clip(self, start: int, end: int) -> Iterator[SegmentPiece]:
+        """Yield whole-rep pieces covering the instruction range [start, end).
+
+        Pieces are rounded *outward* to rep boundaries, so the union of the
+        yielded pieces is a superset of the requested range; callers measure
+        the instructions they actually simulated from the pieces themselves.
+        """
+        if start < 0 or end > self.total_instructions or start >= end:
+            raise TraceError(f"bad clip range [{start}, {end})")
+        index = self.locate(start)
+        while index < self.n_segments:
+            seg_start, seg_end = self.segment_span(index)
+            if seg_start >= end:
+                break
+            seg = self.segments[index]
+            rep_len = int(self.rep_lengths[index])
+            lo = max(start, seg_start)
+            hi = min(end, seg_end)
+            first_rep = (lo - seg_start) // rep_len
+            last_rep = (hi - seg_start + rep_len - 1) // rep_len  # exclusive
+            last_rep = min(max(last_rep, first_rep + 1), seg.reps)
+            yield SegmentPiece(
+                segment=seg,
+                rep_offset=int(first_rep),
+                n_reps=int(last_rep - first_rep),
+                start_inst=int(seg_start + first_rep * rep_len),
+            )
+            index += 1
+
+
+class TraceBuilder:
+    """Deterministically unroll a workload's schedule into a trace."""
+
+    #: Reps of the prologue init loop per ``prologue_iterations`` unit.
+    INIT_LOOP_REPS = 25
+
+    def __init__(self, workload: Workload) -> None:
+        self.workload = workload
+
+    def build(self) -> Trace:
+        """Unroll the schedule and return the trace."""
+        wl = self.workload
+        spec = wl.spec
+        rng = np.random.default_rng(np.random.SeedSequence(spec.seed))
+        segments: List[Segment] = []
+
+        # --- prologue --------------------------------------------------
+        for block in wl.prologue_blocks:
+            segments.append(Segment(blocks=(block,), reps=1))
+        init_reps = self.INIT_LOOP_REPS * max(1, spec.prologue_iterations)
+        segments.append(Segment(blocks=(wl.init_loop_header,), reps=1))
+        segments.append(
+            Segment(
+                blocks=(wl.init_loop_body,), reps=init_reps,
+                loop_id=wl.init_loop_id,
+            )
+        )
+        for scan_block, scan_reps in wl.init_scans:
+            segments.append(Segment(blocks=(scan_block,), reps=scan_reps))
+
+        # --- main outer loop --------------------------------------------
+        # Every visit re-sweeps its loop's working set from the start
+        # (iter_base = 0): loops re-read the same data on every visit, the
+        # temporal locality that makes phase behaviour stationary across
+        # iteration instances.
+        for outer_index, regime_index in enumerate(spec.schedule):
+            layout = wl.regime_layouts[regime_index]
+            scale = spec.scale_of(outer_index)
+            segments.append(
+                Segment(blocks=(wl.outer_header,), reps=1,
+                        outer_index=outer_index)
+            )
+            max_visits = max(l.spec.visits for l in layout.loops)
+            for visit in range(max_visits):
+                for inner in layout.loops:
+                    if visit >= inner.spec.visits:
+                        continue
+                    jitter = inner.spec.jitter
+                    factor = float(np.exp(rng.normal(0.0, jitter))) if jitter else 1.0
+                    reps = max(1, int(round(inner.spec.iterations * scale * factor)))
+                    segments.append(
+                        Segment(blocks=(inner.header_block,), reps=1,
+                                outer_index=outer_index)
+                    )
+                    segments.append(
+                        Segment(
+                            blocks=inner.body_blocks,
+                            reps=reps,
+                            outer_index=outer_index,
+                            iter_base=0,
+                            loop_id=inner.loop_id,
+                        )
+                    )
+                    if spec.noise and rng.random() < spec.noise:
+                        noise_block = wl.noise_blocks[
+                            int(rng.integers(len(wl.noise_blocks)))
+                        ]
+                        segments.append(
+                            Segment(
+                                blocks=(noise_block,),
+                                reps=int(rng.integers(1, 5)),
+                                outer_index=outer_index,
+                            )
+                        )
+        return Trace(self.workload, segments)
+
+
+def build_trace(workload: Workload) -> Trace:
+    """Convenience wrapper: unroll *workload* into its trace."""
+    return TraceBuilder(workload).build()

@@ -1,0 +1,40 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause while still being
+able to discriminate the failure class.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """A machine or sampling configuration is inconsistent or out of range."""
+
+
+class ProgramError(ReproError):
+    """A program / CFG is malformed (dangling edges, empty blocks, ...)."""
+
+
+class TraceError(ReproError):
+    """The dynamic trace is inconsistent with the static program."""
+
+
+class ClusteringError(ReproError):
+    """Phase clustering could not be performed (bad k, empty data, ...)."""
+
+
+class SamplingError(ReproError):
+    """A sampling method received inputs it cannot sample."""
+
+
+class SimulationError(ReproError):
+    """A simulator was driven into an invalid state."""
+
+
+class HarnessError(ReproError):
+    """The experiment harness was misused or an experiment is unknown."""

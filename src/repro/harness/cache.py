@@ -1,0 +1,80 @@
+"""Disk cache for expensive experiment artefacts.
+
+Whole-program detailed baselines take seconds-to-minutes per benchmark and
+config; the cache stores their JSON-serialised results keyed by a content
+key that includes a schema version, so stale entries are ignored after
+incompatible changes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Optional
+
+#: Bump when cached payload layouts change.
+CACHE_SCHEMA_VERSION = 4
+
+#: Environment variable overriding the cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> Path:
+    """The cache directory: ``$REPRO_CACHE_DIR`` or ``.repro_cache/``."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env)
+    return Path.cwd() / ".repro_cache"
+
+
+class ResultCache:
+    """A trivially simple key -> JSON file cache."""
+
+    def __init__(self, directory: Optional[Path] = None, enabled: bool = True) -> None:
+        self.directory = Path(directory) if directory else default_cache_dir()
+        self.enabled = enabled
+
+    def _path(self, key: str) -> Path:
+        digest = hashlib.sha256(
+            f"v{CACHE_SCHEMA_VERSION}:{key}".encode()
+        ).hexdigest()[:24]
+        return self.directory / f"{digest}.json"
+
+    def get(self, key: str) -> Optional[Any]:
+        """Fetch a cached payload, or None."""
+        if not self.enabled:
+            return None
+        path = self._path(key)
+        if not path.exists():
+            return None
+        try:
+            with open(path) as handle:
+                wrapper = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return None
+        if wrapper.get("key") != key:
+            return None
+        return wrapper.get("payload")
+
+    def put(self, key: str, payload: Any) -> None:
+        """Store *payload* (must be JSON-serialisable) under *key*."""
+        if not self.enabled:
+            return
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self._path(key)
+        tmp = path.with_suffix(".tmp")
+        with open(tmp, "w") as handle:
+            json.dump({"key": key, "payload": payload}, handle)
+        os.replace(tmp, path)
+
+    def clear(self) -> int:
+        """Delete all cache files; returns how many were removed."""
+        if not self.directory.exists():
+            return 0
+        removed = 0
+        for path in self.directory.glob("*.json"):
+            path.unlink()
+            removed += 1
+        return removed

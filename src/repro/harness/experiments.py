@@ -1,0 +1,560 @@
+"""Experiment drivers: one function per paper table / figure plus ablations.
+
+Every driver returns plain dataclasses of numbers (render with
+:mod:`repro.harness.tables`); the benchmark scripts under ``benchmarks/``
+call these and print the regenerated table or figure series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..analysis.bbv import normalize_rows
+from ..analysis.pca import first_component
+from ..config import CONFIG_A, DEFAULT_SAMPLING, MachineConfig, SamplingConfig
+from ..detailed.timing import TimingSimulator
+from ..engine.functional import FunctionalSimulator
+from ..errors import HarnessError
+from ..sampling.coasts import Coasts
+from ..sampling.estimate import evaluate_plan
+from ..sampling.multilevel import MultiLevelSampler
+from ..sampling.simpoint import SimPoint
+from ..workloads.registry import benchmark_names
+from .runner import BenchmarkRun, ExperimentRunner
+from .tables import arithmetic_mean, geomean
+
+# ----------------------------------------------------------------------
+# Figures 3 and 4: speedup over SimPoint
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SpeedupSeries:
+    """Per-benchmark speedups of one method over another (Figs 3/4)."""
+
+    method: str
+    over: str
+    config_name: str
+    speedups: Dict[str, float]
+
+    @property
+    def geomean(self) -> float:
+        """Geometric-mean speedup (the paper's headline number)."""
+        return geomean(self.speedups.values())
+
+
+def speedup_experiment(
+    runner: ExperimentRunner,
+    method: str,
+    over: str = "simpoint",
+    config: MachineConfig = CONFIG_A,
+    names: Optional[Iterable[str]] = None,
+    progress: bool = False,
+) -> SpeedupSeries:
+    """Figure 3 (method='coasts') / Figure 4 (method='multilevel')."""
+    runs = runner.run_suite(config, names=names, progress=progress)
+    return SpeedupSeries(
+        method=method,
+        over=over,
+        config_name=config.name,
+        speedups={
+            run.benchmark: run.speedup(method, over=over, model=runner.cost_model)
+            for run in runs
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+# Table II: deviation comparison
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class DeviationCell:
+    """Average and worst deviation of one (metric, method, config) cell."""
+
+    average: float
+    worst: float
+    worst_benchmark: str
+
+
+@dataclass(frozen=True)
+class AccuracyTable:
+    """The Table II reproduction.
+
+    ``cells[(metric, method, config_name)]`` with metric in
+    {"cpi", "l1_hit_rate", "l2_hit_rate"}.  CPI deviations are relative;
+    hit-rate deviations are absolute differences (fractions), both as in
+    the paper.  Averages are arithmetic (deviations may legitimately be
+    ~0, which a geometric mean cannot aggregate).
+    """
+
+    cells: Dict[Tuple[str, str, str], DeviationCell]
+    methods: Tuple[str, ...]
+    config_names: Tuple[str, ...]
+
+    METRICS: Tuple[str, ...] = field(
+        default=("cpi", "l1_hit_rate", "l2_hit_rate")
+    )
+
+
+def accuracy_experiment(
+    runner: ExperimentRunner,
+    configs: Sequence[MachineConfig],
+    methods: Sequence[str] = ("coasts", "simpoint", "multilevel"),
+    names: Optional[Iterable[str]] = None,
+    progress: bool = False,
+) -> AccuracyTable:
+    """Table II: CPI / L1 / L2 deviations per method under both configs."""
+    cells: Dict[Tuple[str, str, str], DeviationCell] = {}
+    for config in configs:
+        runs = runner.run_suite(config, names=names, progress=progress)
+        for metric in ("cpi", "l1_hit_rate", "l2_hit_rate"):
+            for method in methods:
+                deviations = {
+                    run.benchmark: getattr(run.methods[method].deviation, metric)
+                    for run in runs
+                }
+                worst_benchmark = max(deviations, key=deviations.get)
+                cells[(metric, method, config.name)] = DeviationCell(
+                    average=arithmetic_mean(deviations.values()),
+                    worst=deviations[worst_benchmark],
+                    worst_benchmark=worst_benchmark,
+                )
+    return AccuracyTable(
+        cells=cells,
+        methods=tuple(methods),
+        config_names=tuple(c.name for c in configs),
+    )
+
+
+# ----------------------------------------------------------------------
+# Table III: simulation point statistics
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class StatisticsRow:
+    """One Table III row: aggregate point statistics of one method."""
+
+    method: str
+    mean_interval_size: float
+    mean_sample_number: float
+    mean_detail_fraction: float
+    mean_functional_fraction: float
+
+
+def statistics_experiment(
+    runner: ExperimentRunner,
+    config: MachineConfig = CONFIG_A,
+    methods: Sequence[str] = ("coasts", "simpoint", "multilevel"),
+    names: Optional[Iterable[str]] = None,
+    progress: bool = False,
+) -> List[StatisticsRow]:
+    """Table III: geometric means of interval size, sample count and the
+    detail / functional instruction fractions."""
+    runs = runner.run_suite(config, names=names, progress=progress)
+    rows: List[StatisticsRow] = []
+    for method in methods:
+        stats = [run.methods[method].stats for run in runs]
+        totals = [run.total_instructions for run in runs]
+        rows.append(
+            StatisticsRow(
+                method=method,
+                mean_interval_size=geomean(s.mean_interval_size for s in stats),
+                mean_sample_number=geomean(s.n_leaves for s in stats),
+                mean_detail_fraction=geomean(
+                    max(s.detail_instructions / t, 1e-12)
+                    for s, t in zip(stats, totals)
+                ),
+                mean_functional_fraction=geomean(
+                    max(s.functional_instructions / t, 1e-12)
+                    for s, t in zip(stats, totals)
+                ),
+            )
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Section III-B motivation statistics
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class MotivationRow:
+    """Coarse-phase facts for one benchmark (Section III-B)."""
+
+    benchmark: str
+    phase_count: int
+    last_point_position: float
+    n_intervals: int
+    mean_interval_size: float
+
+
+def motivation_experiment(
+    runner: ExperimentRunner,
+    kmax: int = 10,
+    names: Optional[Iterable[str]] = None,
+    progress: bool = False,
+    bic_threshold: float = 0.6,
+) -> List[MotivationRow]:
+    """Natural coarse-phase counts and last-point positions.
+
+    Uses a raised Kmax (10) so the clustering can discover more than the
+    default 3 phases — this is how the paper's motivation numbers (gzip 4,
+    equake 6, fma3d 5, average 3) were measured, while the COASTS default
+    for sampling remains ``Kmax = 3``.  The BIC threshold is lowered to the
+    knee (0.6): phase *counting* wants the number of distinct behaviours,
+    not the finest clustering the BIC range admits.
+    """
+    sampling = replace(runner.sampling, coarse_kmax=kmax,
+                       bic_threshold=bic_threshold)
+    rows: List[MotivationRow] = []
+    for name in list(names) if names is not None else benchmark_names():
+        if progress:
+            print(f"[motivation] {name} ...", flush=True)
+        trace = runner.trace(name)
+        plan = Coasts(sampling).sample(trace, benchmark=name)
+        rows.append(
+            MotivationRow(
+                benchmark=name,
+                phase_count=plan.n_clusters,
+                last_point_position=plan.last_point_position,
+                n_intervals=len(trace.outer_bounds()),
+                mean_interval_size=plan.mean_interval_size,
+            )
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figure 1: granularity study
+# ----------------------------------------------------------------------
+def _roughness(values: np.ndarray) -> float:
+    """Mean |step| of a curve, normalised by its spread.
+
+    ~0 for smooth slowly-varying curves, ~1.4 for white noise; scale-free,
+    so fine and coarse curves (different PCA fits) are comparable."""
+    values = np.asarray(values, dtype=np.float64)
+    if len(values) < 2:
+        return 0.0
+    spread = values.std()
+    if spread == 0:
+        return 0.0
+    return float(np.abs(np.diff(values)).mean() / spread)
+
+
+
+@dataclass(frozen=True)
+class GranularitySeries:
+    """Figure 1's data: first PCA component per interval + chosen points."""
+
+    benchmark: str
+    fine_values: np.ndarray
+    fine_selected: Tuple[int, ...]
+    coarse_values: np.ndarray
+    coarse_selected: Tuple[int, ...]
+
+    @property
+    def fine_variation(self) -> float:
+        """Normalised mean |step| of the fine curve (its 'chaos' measure)."""
+        return _roughness(self.fine_values)
+
+    @property
+    def coarse_variation(self) -> float:
+        """Normalised mean |step| of the coarse curve."""
+        return _roughness(self.coarse_values)
+
+
+def granularity_experiment(
+    runner: ExperimentRunner,
+    benchmark: str = "lucas",
+) -> GranularitySeries:
+    """Figure 1: fine vs coarse first-PCA-component curves for *benchmark*."""
+    trace = runner.trace(benchmark)
+    functional = FunctionalSimulator(trace)
+
+    fine_profile = functional.profile_fixed_intervals(
+        runner.sampling.fine_interval_size
+    )
+    fine_values = first_component(normalize_rows(fine_profile.bbv))
+    fine_plan = SimPoint(runner.sampling).sample(fine_profile, benchmark=benchmark)
+    fine_selected = tuple(p.interval_index for p in fine_plan.points)
+
+    coasts = Coasts(runner.sampling)
+    boundaries = coasts.collect_boundaries(trace)
+    coarse_profile = coasts.profile(trace, boundaries)
+    coarse_values = first_component(normalize_rows(coarse_profile.bbv))
+    coarse_plan = coasts.sample_profile(
+        coarse_profile, benchmark=benchmark,
+        total_instructions=trace.total_instructions,
+    )
+    coarse_selected = tuple(p.interval_index for p in coarse_plan.points)
+
+    return GranularitySeries(
+        benchmark=benchmark,
+        fine_values=fine_values,
+        fine_selected=fine_selected,
+        coarse_values=coarse_values,
+        coarse_selected=coarse_selected,
+    )
+
+
+# ----------------------------------------------------------------------
+# Ablations
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class AblationRow:
+    """One setting of an ablation sweep."""
+
+    setting: str
+    values: Dict[str, float]
+
+
+def ablation_coarse_kmax(
+    runner: ExperimentRunner,
+    benchmark: str,
+    kmaxes: Sequence[int] = (1, 2, 3, 4, 6, 8),
+    config: MachineConfig = CONFIG_A,
+) -> List[AblationRow]:
+    """Sweep COASTS' Kmax: phase count, last position, detail fraction and
+    CPI deviation."""
+    trace = runner.trace(benchmark)
+    simulator = TimingSimulator(trace, config)
+    baseline = simulator.simulate_full().metrics()
+    rows: List[AblationRow] = []
+    for kmax in kmaxes:
+        sampling = replace(runner.sampling, coarse_kmax=kmax)
+        plan = Coasts(sampling).sample(trace, benchmark=benchmark)
+        evaluation = evaluate_plan(plan, simulator, baseline, config=sampling)
+        rows.append(
+            AblationRow(
+                setting=f"kmax={kmax}",
+                values={
+                    "phases": float(plan.n_clusters),
+                    "last_position": plan.last_point_position,
+                    "detail_fraction": plan.detail_fraction,
+                    "cpi_deviation": evaluation.deviation.cpi,
+                },
+            )
+        )
+    return rows
+
+
+def ablation_fine_interval(
+    runner: ExperimentRunner,
+    benchmark: str,
+    sizes: Sequence[int],
+    config: MachineConfig = CONFIG_A,
+) -> List[AblationRow]:
+    """Sweep the fixed SimPoint interval size: points, fractions, deviation.
+
+    This is the experiment behind the paper's Section III claim that finer
+    granularity exposes more phases and pushes simulation points toward the
+    end of the program."""
+    trace = runner.trace(benchmark)
+    functional = FunctionalSimulator(trace)
+    simulator = TimingSimulator(trace, config)
+    baseline = simulator.simulate_full().metrics()
+    rows: List[AblationRow] = []
+    for size in sizes:
+        sampling = replace(runner.sampling, fine_interval_size=size,
+                           resample_threshold=size * runner.sampling.fine_kmax)
+        profile = functional.profile_fixed_intervals(size)
+        plan = SimPoint(sampling).sample(profile, benchmark=benchmark)
+        evaluation = evaluate_plan(plan, simulator, baseline, config=sampling)
+        rows.append(
+            AblationRow(
+                setting=f"interval={size}",
+                values={
+                    "points": float(plan.n_points),
+                    "last_position": plan.last_point_position,
+                    "detail_fraction": plan.detail_fraction,
+                    "functional_fraction": plan.functional_fraction,
+                    "cpi_deviation": evaluation.deviation.cpi,
+                },
+            )
+        )
+    return rows
+
+
+def ablation_resample_threshold(
+    runner: ExperimentRunner,
+    benchmark: str,
+    thresholds: Sequence[int],
+    config: MachineConfig = CONFIG_A,
+) -> List[AblationRow]:
+    """Sweep the multi-level re-sampling threshold (paper: 10M x Kmax)."""
+    trace = runner.trace(benchmark)
+    simulator = TimingSimulator(trace, config)
+    baseline = simulator.simulate_full().metrics()
+    coarse_plan = Coasts(runner.sampling).sample(trace, benchmark=benchmark)
+    rows: List[AblationRow] = []
+    for threshold in thresholds:
+        sampling = replace(runner.sampling, resample_threshold=threshold)
+        plan = MultiLevelSampler(sampling).sample(
+            trace, benchmark=benchmark, coarse_plan=coarse_plan
+        )
+        evaluation = evaluate_plan(plan, simulator, baseline, config=sampling)
+        rows.append(
+            AblationRow(
+                setting=f"threshold={threshold}",
+                values={
+                    "leaves": float(plan.n_leaves),
+                    "detail_fraction": plan.detail_fraction,
+                    "cpi_deviation": evaluation.deviation.cpi,
+                },
+            )
+        )
+    return rows
+
+
+def ablation_projection_dim(
+    runner: ExperimentRunner,
+    benchmark: str,
+    dims: Sequence[int] = (2, 5, 15, 30, 60),
+    config: MachineConfig = CONFIG_A,
+) -> List[AblationRow]:
+    """Sweep the BBV random-projection dimensionality (paper uses 15)."""
+    trace = runner.trace(benchmark)
+    functional = FunctionalSimulator(trace)
+    simulator = TimingSimulator(trace, config)
+    baseline = simulator.simulate_full().metrics()
+    profile = functional.profile_fixed_intervals(
+        runner.sampling.fine_interval_size
+    )
+    rows: List[AblationRow] = []
+    for dim in dims:
+        sampling = replace(runner.sampling, projection_dim=dim)
+        plan = SimPoint(sampling).sample(profile, benchmark=benchmark)
+        evaluation = evaluate_plan(plan, simulator, baseline, config=sampling)
+        rows.append(
+            AblationRow(
+                setting=f"dim={dim}",
+                values={
+                    "points": float(plan.n_points),
+                    "cpi_deviation": evaluation.deviation.cpi,
+                    "l2_deviation": evaluation.deviation.l2_hit_rate,
+                },
+            )
+        )
+    return rows
+
+
+def ablation_metric(
+    runner: ExperimentRunner,
+    benchmark: str,
+    metrics: Sequence[str] = ("bbv", "loop_frequency", "working_set"),
+    config: MachineConfig = CONFIG_A,
+) -> List[AblationRow]:
+    """Compare phase-classification metrics (paper Section II).
+
+    Reproduces the cited findings: BBVs estimate at least as well as
+    working-set signatures (Dhodapkar & Smith), and loop frequency vectors
+    come close while often selecting fewer phases (Lau et al.)."""
+    trace = runner.trace(benchmark)
+    functional = FunctionalSimulator(trace)
+    simulator = TimingSimulator(trace, config)
+    baseline = simulator.simulate_full().metrics()
+    profile = functional.profile_fixed_intervals(
+        runner.sampling.fine_interval_size
+    )
+    rows: List[AblationRow] = []
+    for metric in metrics:
+        plan = SimPoint(runner.sampling, metric=metric).sample(
+            profile, benchmark=benchmark, program=trace.program
+        )
+        evaluation = evaluate_plan(plan, simulator, baseline,
+                                   config=runner.sampling)
+        rows.append(
+            AblationRow(
+                setting=metric,
+                values={
+                    "points": float(plan.n_points),
+                    "cpi_deviation": evaluation.deviation.cpi,
+                    "l2_deviation": evaluation.deviation.l2_hit_rate,
+                    "functional_fraction": plan.functional_fraction,
+                },
+            )
+        )
+    return rows
+
+
+def ablation_representative_policy(
+    runner: ExperimentRunner,
+    benchmark: str,
+    config: MachineConfig = CONFIG_A,
+) -> List[AblationRow]:
+    """Earliest-instance (COASTS) vs centroid-nearest representatives.
+
+    Quantifies DESIGN.md decision 4: earliest instances slash functional
+    time at a small accuracy cost."""
+    trace = runner.trace(benchmark)
+    simulator = TimingSimulator(trace, config)
+    baseline = simulator.simulate_full().metrics()
+    coasts = Coasts(runner.sampling)
+    boundaries = coasts.collect_boundaries(trace)
+    profile = coasts.profile(trace, boundaries)
+    signatures = coasts.signatures(profile)
+
+    from ..analysis.bic import cluster_with_bic
+    from ..analysis.distance import earliest_member, nearest_to_centroid
+    from ..sampling.points import SamplingPlan, SimulationPoint
+
+    result, _ = cluster_with_bic(
+        signatures,
+        kmax=runner.sampling.coarse_kmax,
+        seed=runner.sampling.random_seed,
+        n_seeds=runner.sampling.kmeans_seeds,
+        threshold=runner.sampling.bic_threshold,
+    )
+    insts = profile.instructions.astype(np.float64)
+    rows: List[AblationRow] = []
+    for policy, picks in (
+        ("earliest", earliest_member(result.labels, result.k)),
+        ("centroid", nearest_to_centroid(signatures, result.labels,
+                                         result.centroids)),
+    ):
+        points = []
+        for phase in range(result.k):
+            pick = int(picks[phase])
+            if pick < 0:
+                continue
+            weight = float(insts[result.labels == phase].sum() / insts.sum())
+            points.append(
+                SimulationPoint(
+                    start=int(profile.starts[pick]),
+                    end=profile.end_of(pick),
+                    weight=weight,
+                    phase=phase,
+                    interval_index=pick,
+                )
+            )
+        plan = SamplingPlan(
+            method=f"coasts_{policy}",
+            benchmark=benchmark,
+            points=tuple(sorted(points, key=lambda p: p.start)),
+            total_instructions=trace.total_instructions,
+            n_clusters=result.k,
+        )
+        evaluation = evaluate_plan(plan, simulator, baseline,
+                                   config=runner.sampling)
+        rows.append(
+            AblationRow(
+                setting=policy,
+                values={
+                    "last_position": plan.last_point_position,
+                    "functional_fraction": plan.functional_fraction,
+                    "cpi_deviation": evaluation.deviation.cpi,
+                },
+            )
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# helpers
+# ----------------------------------------------------------------------
+def require_runs(runs: List[BenchmarkRun], method: str) -> None:
+    """Validate that every run contains *method* (fail fast in benches)."""
+    for run in runs:
+        if method not in run.methods:
+            raise HarnessError(
+                f"run {run.benchmark} lacks method {method!r}"
+            )

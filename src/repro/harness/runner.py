@@ -1,0 +1,308 @@
+"""Per-benchmark experiment pipeline.
+
+For one benchmark and one machine configuration the runner:
+
+1. generates the workload and unrolls its trace;
+2. collects the profiles and builds each method's sampling plan
+   (SimPoint, EarlySP, COASTS, multi-level);
+3. runs the full-trace detailed baseline (the paper's "original
+   sim-outorder" run);
+4. detail-simulates every plan's simulation points (shared across plans
+   that pick identical points) and reconstructs the weighted estimates;
+5. packages metrics, deviations and cost accounting into a serialisable
+   :class:`BenchmarkRun`, cached on disk.
+
+Plans depend only on the benchmark (profiling is architecture-independent),
+so they are memoised in-process and reused across configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..config import (
+    CONFIG_A,
+    CONFIG_B,
+    DEFAULT_COST_MODEL,
+    DEFAULT_SAMPLING,
+    CostModel,
+    MachineConfig,
+    SamplingConfig,
+)
+from ..detailed.results import Deviation, Metrics, SimulationResult
+from ..detailed.timing import TimingSimulator
+from ..engine.functional import FunctionalSimulator
+from ..engine.trace import Trace, build_trace
+from ..errors import HarnessError
+from ..sampling.coasts import Coasts
+from ..sampling.early import EarlySimPoint
+from ..sampling.estimate import evaluate_plan, plan_ranges, simulate_point_set
+from ..sampling.multilevel import MultiLevelSampler
+from ..sampling.points import SamplingPlan
+from ..sampling.simpoint import SimPoint
+from ..workloads.registry import benchmark_names, load_workload
+from .cache import ResultCache
+
+#: Methods the runner evaluates, in reporting order.
+ALL_METHODS: Tuple[str, ...] = ("simpoint", "early_sp", "coasts", "multilevel")
+
+
+@dataclass(frozen=True)
+class PlanStats:
+    """Cost-relevant facts of one sampling plan (Table III's columns)."""
+
+    method: str
+    n_points: int
+    n_leaves: int
+    n_clusters: int
+    detail_instructions: int
+    functional_instructions: int
+    mean_interval_size: float
+    last_point_position: float
+
+    @staticmethod
+    def from_plan(plan: SamplingPlan) -> "PlanStats":
+        """Extract the stats of *plan*."""
+        return PlanStats(
+            method=plan.method,
+            n_points=plan.n_points,
+            n_leaves=plan.n_leaves,
+            n_clusters=plan.n_clusters,
+            detail_instructions=plan.detail_instructions,
+            functional_instructions=plan.functional_instructions,
+            mean_interval_size=plan.mean_interval_size,
+            last_point_position=plan.last_point_position,
+        )
+
+
+@dataclass(frozen=True)
+class MethodResult:
+    """One sampling method's outcome on one benchmark and config."""
+
+    stats: PlanStats
+    estimate: Metrics
+    deviation: Deviation
+
+
+@dataclass(frozen=True)
+class BenchmarkRun:
+    """Everything measured for one (benchmark, machine config) pair."""
+
+    benchmark: str
+    config_name: str
+    total_instructions: int
+    baseline: Metrics
+    methods: Dict[str, MethodResult]
+
+    # ------------------------------------------------------------------
+    def simulation_time(
+        self,
+        method: str,
+        model: CostModel = DEFAULT_COST_MODEL,
+        include_profiling: bool = False,
+    ) -> float:
+        """Modelled simulation time of *method* on this benchmark."""
+        stats = self._stats(method)
+        time = (
+            stats.detail_instructions * model.detail_cost
+            + stats.functional_instructions * model.functional_cost
+        )
+        if include_profiling:
+            time += self.total_instructions * model.profile_cost
+        return time
+
+    def speedup(
+        self,
+        method: str,
+        over: str = "simpoint",
+        model: CostModel = DEFAULT_COST_MODEL,
+        include_profiling: bool = False,
+    ) -> float:
+        """Speedup of *method* over the *over* method (paper's Figs 3/4)."""
+        return self.simulation_time(over, model, include_profiling) / \
+            self.simulation_time(method, model, include_profiling)
+
+    def _stats(self, method: str) -> PlanStats:
+        if method not in self.methods:
+            raise HarnessError(
+                f"method {method!r} absent from run (have "
+                f"{', '.join(self.methods)})"
+            )
+        return self.methods[method].stats
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-serialisable form."""
+        return {
+            "benchmark": self.benchmark,
+            "config_name": self.config_name,
+            "total_instructions": self.total_instructions,
+            "baseline": asdict(self.baseline),
+            "methods": {
+                name: {
+                    "stats": asdict(result.stats),
+                    "estimate": asdict(result.estimate),
+                    "deviation": asdict(result.deviation),
+                }
+                for name, result in self.methods.items()
+            },
+        }
+
+    @staticmethod
+    def from_dict(payload: dict) -> "BenchmarkRun":
+        """Rebuild from :meth:`to_dict` output."""
+        return BenchmarkRun(
+            benchmark=payload["benchmark"],
+            config_name=payload["config_name"],
+            total_instructions=payload["total_instructions"],
+            baseline=Metrics(**payload["baseline"]),
+            methods={
+                name: MethodResult(
+                    stats=PlanStats(**data["stats"]),
+                    estimate=Metrics(**data["estimate"]),
+                    deviation=Deviation(**data["deviation"]),
+                )
+                for name, data in payload["methods"].items()
+            },
+        )
+
+
+class ExperimentRunner:
+    """Drive the full pipeline with caching and in-process memoisation."""
+
+    def __init__(
+        self,
+        sampling: SamplingConfig = DEFAULT_SAMPLING,
+        cost_model: CostModel = DEFAULT_COST_MODEL,
+        cache: Optional[ResultCache] = None,
+        workload_scale: float = 1.0,
+        methods: Iterable[str] = ALL_METHODS,
+    ) -> None:
+        self.sampling = sampling
+        self.cost_model = cost_model
+        self.cache = cache if cache is not None else ResultCache()
+        self.workload_scale = workload_scale
+        self.methods = tuple(methods)
+        unknown = set(self.methods) - set(ALL_METHODS)
+        if unknown:
+            raise HarnessError(f"unknown methods: {sorted(unknown)}")
+        self._traces: Dict[str, Trace] = {}
+        self._plans: Dict[str, Dict[str, SamplingPlan]] = {}
+
+    # ------------------------------------------------------------------
+    def trace(self, benchmark: str) -> Trace:
+        """The (memoised) trace of *benchmark*."""
+        if benchmark not in self._traces:
+            workload = load_workload(benchmark, scale=self.workload_scale)
+            self._traces[benchmark] = build_trace(workload)
+        return self._traces[benchmark]
+
+    def plans(self, benchmark: str) -> Dict[str, SamplingPlan]:
+        """All requested sampling plans for *benchmark* (memoised)."""
+        if benchmark in self._plans:
+            return self._plans[benchmark]
+        trace = self.trace(benchmark)
+        functional = FunctionalSimulator(trace)
+        plans: Dict[str, SamplingPlan] = {}
+        fine_profile = None
+        if {"simpoint", "early_sp"} & set(self.methods):
+            fine_profile = functional.profile_fixed_intervals(
+                self.sampling.fine_interval_size
+            )
+        if "simpoint" in self.methods:
+            plans["simpoint"] = SimPoint(self.sampling).sample(
+                fine_profile, benchmark=benchmark
+            )
+        if "early_sp" in self.methods:
+            plans["early_sp"] = EarlySimPoint(self.sampling).sample(
+                fine_profile, benchmark=benchmark
+            )
+        coarse_plan = None
+        if {"coasts", "multilevel"} & set(self.methods):
+            coarse_plan = Coasts(self.sampling).sample(trace, benchmark=benchmark)
+        if "coasts" in self.methods:
+            plans["coasts"] = coarse_plan
+        if "multilevel" in self.methods:
+            plans["multilevel"] = MultiLevelSampler(self.sampling).sample(
+                trace, benchmark=benchmark, coarse_plan=coarse_plan
+            )
+        self._plans[benchmark] = plans
+        return plans
+
+    # ------------------------------------------------------------------
+    def _cache_key(self, benchmark: str, config: MachineConfig) -> str:
+        from ..workloads.registry import get_spec
+
+        # The spec repr fingerprints the workload definition, so cached
+        # results are invalidated whenever the suite is re-tuned.
+        return (
+            f"run:{benchmark}:{get_spec(benchmark)!r}:{config!r}:"
+            f"{self.sampling!r}:scale={self.workload_scale}:"
+            f"methods={','.join(self.methods)}"
+        )
+
+    def run_benchmark(
+        self, benchmark: str, config: MachineConfig = CONFIG_A
+    ) -> BenchmarkRun:
+        """Full pipeline for one benchmark and config (disk-cached)."""
+        key = self._cache_key(benchmark, config)
+        cached = self.cache.get(key)
+        if cached is not None:
+            return BenchmarkRun.from_dict(cached)
+
+        trace = self.trace(benchmark)
+        plans = self.plans(benchmark)
+        simulator = TimingSimulator(trace, config)
+        baseline = simulator.simulate_full().metrics()
+
+        if self.sampling.full_warming:
+            union = sorted(
+                {r for plan in plans.values() for r in plan_ranges(plan)}
+            )
+            leaf_cache: Dict[Tuple[int, int], SimulationResult] = \
+                simulate_point_set(simulator, union)
+        else:
+            leaf_cache = {}
+        methods: Dict[str, MethodResult] = {}
+        for name in self.methods:
+            plan = plans[name]
+            evaluation = evaluate_plan(
+                plan, simulator, baseline, config=self.sampling,
+                cache=leaf_cache,
+            )
+            methods[name] = MethodResult(
+                stats=PlanStats.from_plan(plan),
+                estimate=evaluation.estimate,
+                deviation=evaluation.deviation,
+            )
+
+        run = BenchmarkRun(
+            benchmark=benchmark,
+            config_name=config.name,
+            total_instructions=trace.total_instructions,
+            baseline=baseline,
+            methods=methods,
+        )
+        self.cache.put(key, run.to_dict())
+        return run
+
+    def run_suite(
+        self,
+        config: MachineConfig = CONFIG_A,
+        names: Optional[Iterable[str]] = None,
+        quick: bool = False,
+        progress: bool = False,
+    ) -> List[BenchmarkRun]:
+        """Run every benchmark (or *names*) under *config*."""
+        chosen = list(names) if names is not None else benchmark_names(quick=quick)
+        runs = []
+        for name in chosen:
+            if progress:
+                print(f"[{config.name}] {name} ...", flush=True)
+            runs.append(self.run_benchmark(name, config))
+        return runs
+
+
+#: The two Table I configurations, in reporting order.
+BOTH_CONFIGS: Tuple[MachineConfig, ...] = (CONFIG_A, CONFIG_B)

@@ -1,0 +1,27 @@
+"""Synthetic RISC ISA and static program model."""
+
+from .block import INSTRUCTION_BYTES, BasicBlock
+from .builder import InstructionMix, N_REGISTERS, ProgramBuilder
+from .instruction import Instruction
+from .loops import Loop, LoopNest
+from .opcodes import FU_CLASS, LATENCY, FuClass, Opcode, is_control, is_memory
+from .program import MemRegion, Program
+
+__all__ = [
+    "BasicBlock",
+    "FU_CLASS",
+    "FuClass",
+    "INSTRUCTION_BYTES",
+    "Instruction",
+    "InstructionMix",
+    "LATENCY",
+    "Loop",
+    "LoopNest",
+    "MemRegion",
+    "N_REGISTERS",
+    "Opcode",
+    "Program",
+    "ProgramBuilder",
+    "is_control",
+    "is_memory",
+]

@@ -1,0 +1,89 @@
+"""Opcode definitions for the synthetic RISC ISA.
+
+The ISA is deliberately small: it exists to give the timing simulators real
+dataflow (register dependences), real functional-unit contention and real
+memory / branch behaviour, which is all SimPoint-style phase analysis ever
+observes of an ISA.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class FuClass(enum.Enum):
+    """Functional-unit class an opcode executes on (Table I unit names)."""
+
+    INT_ALU = "int_alu"
+    LOAD_STORE = "load_store"
+    FP_ADD = "fp_add"
+    INT_MULT_DIV = "int_mult_div"
+    FP_MULT_DIV = "fp_mult_div"
+
+
+class Opcode(enum.Enum):
+    """Instruction opcodes."""
+
+    IALU = "ialu"
+    IMUL = "imul"
+    IDIV = "idiv"
+    FADD = "fadd"
+    FMUL = "fmul"
+    FDIV = "fdiv"
+    LOAD = "load"
+    STORE = "store"
+    BRANCH = "branch"
+    JUMP = "jump"
+    NOP = "nop"
+
+
+#: Execution latency in cycles for non-memory opcodes.  LOAD latency is the
+#: dynamic cache access time; the value here is its best case (added to the
+#: L1 hit latency by the scheduler).
+LATENCY: dict[Opcode, int] = {
+    Opcode.IALU: 1,
+    Opcode.IMUL: 3,
+    Opcode.IDIV: 12,
+    Opcode.FADD: 2,
+    Opcode.FMUL: 4,
+    Opcode.FDIV: 12,
+    Opcode.LOAD: 1,
+    Opcode.STORE: 1,
+    Opcode.BRANCH: 1,
+    Opcode.JUMP: 1,
+    Opcode.NOP: 1,
+}
+
+#: Functional unit class required by each opcode.
+FU_CLASS: dict[Opcode, FuClass] = {
+    Opcode.IALU: FuClass.INT_ALU,
+    Opcode.IMUL: FuClass.INT_MULT_DIV,
+    Opcode.IDIV: FuClass.INT_MULT_DIV,
+    Opcode.FADD: FuClass.FP_ADD,
+    Opcode.FMUL: FuClass.FP_MULT_DIV,
+    Opcode.FDIV: FuClass.FP_MULT_DIV,
+    Opcode.LOAD: FuClass.LOAD_STORE,
+    Opcode.STORE: FuClass.LOAD_STORE,
+    Opcode.BRANCH: FuClass.INT_ALU,
+    Opcode.JUMP: FuClass.INT_ALU,
+    Opcode.NOP: FuClass.INT_ALU,
+}
+
+#: Opcodes that reference memory.
+MEMORY_OPCODES = frozenset({Opcode.LOAD, Opcode.STORE})
+
+#: Opcodes that end a basic block with a control transfer.
+CONTROL_OPCODES = frozenset({Opcode.BRANCH, Opcode.JUMP})
+
+#: Floating-point opcodes (used for instruction-mix statistics).
+FP_OPCODES = frozenset({Opcode.FADD, Opcode.FMUL, Opcode.FDIV})
+
+
+def is_memory(opcode: Opcode) -> bool:
+    """Return True if *opcode* references memory."""
+    return opcode in MEMORY_OPCODES
+
+
+def is_control(opcode: Opcode) -> bool:
+    """Return True if *opcode* transfers control."""
+    return opcode in CONTROL_OPCODES

@@ -1,0 +1,101 @@
+"""Simulation-time accounting and speedups.
+
+A sampling method's cost is determined by how many instructions it simulates
+in detail and how many it fast-forwards functionally::
+
+    T(plan) = detail_instructions * c_detail + functional_instructions * c_func
+
+The per-instruction cost ratio ``c_detail / c_func = 33`` is calibrated from
+the paper itself (DESIGN.md section 2): it is the unique ratio that maps the
+paper's Table III instruction fractions onto its reported 6.78x / 14.04x
+speedups.  Speedups between methods are ratios of these times, exactly as
+the paper computes them; the (one-off, shared) profiling pass is reported
+separately and excluded, as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import DEFAULT_COST_MODEL, CostModel
+from ..errors import SamplingError
+from .points import SamplingPlan
+
+
+@dataclass(frozen=True)
+class SimulationCost:
+    """Instruction counts by simulation mode for one plan (or baseline)."""
+
+    detail_instructions: int
+    functional_instructions: int
+    total_instructions: int
+    profile_instructions: int = 0
+
+    def __post_init__(self) -> None:
+        if min(self.detail_instructions, self.functional_instructions) < 0:
+            raise SamplingError("negative instruction counts")
+        if self.total_instructions <= 0:
+            raise SamplingError("total_instructions must be positive")
+
+    @property
+    def detail_fraction(self) -> float:
+        """Detail instructions / program instructions."""
+        return self.detail_instructions / self.total_instructions
+
+    @property
+    def functional_fraction(self) -> float:
+        """Functional instructions / program instructions."""
+        return self.functional_instructions / self.total_instructions
+
+    def time(self, model: CostModel = DEFAULT_COST_MODEL,
+             include_profiling: bool = False) -> float:
+        """Simulated-time units under *model*."""
+        time = (
+            self.detail_instructions * model.detail_cost
+            + self.functional_instructions * model.functional_cost
+        )
+        if include_profiling:
+            time += self.profile_instructions * model.profile_cost
+        return time
+
+
+def plan_cost(plan: SamplingPlan, profiled: bool = True) -> SimulationCost:
+    """Cost accounting of *plan* (profiling = one functional pass)."""
+    return SimulationCost(
+        detail_instructions=plan.detail_instructions,
+        functional_instructions=plan.functional_instructions,
+        total_instructions=plan.total_instructions,
+        profile_instructions=plan.total_instructions if profiled else 0,
+    )
+
+
+def full_detail_cost(total_instructions: int) -> SimulationCost:
+    """Cost of the no-sampling baseline: everything in detail."""
+    return SimulationCost(
+        detail_instructions=total_instructions,
+        functional_instructions=0,
+        total_instructions=total_instructions,
+    )
+
+
+def speedup(
+    plan: SamplingPlan,
+    over: SamplingPlan,
+    model: CostModel = DEFAULT_COST_MODEL,
+    include_profiling: bool = False,
+) -> float:
+    """Speedup of *plan* over the *over* plan (e.g. COASTS over SimPoint)."""
+    mine = plan_cost(plan).time(model, include_profiling)
+    theirs = plan_cost(over).time(model, include_profiling)
+    if mine <= 0:
+        raise SamplingError("degenerate plan with zero simulation time")
+    return theirs / mine
+
+
+def speedup_over_full(
+    plan: SamplingPlan, model: CostModel = DEFAULT_COST_MODEL
+) -> float:
+    """Speedup of *plan* over full detailed simulation of the program."""
+    mine = plan_cost(plan).time(model)
+    full = full_detail_cost(plan.total_instructions).time(model)
+    return full / mine

@@ -1,0 +1,63 @@
+"""EarlySP: early simulation points (Perelman, Hamerly & Calder, PACT 2003).
+
+The related-work baseline the paper mentions: instead of the interval
+nearest each centroid, pick the *earliest* interval whose distance to the
+centroid is within a tolerance of the best, trading a little representative
+quality for less fast-forwarding.  The paper notes this "can only reduce
+some functional simulation time" — the last cluster still constrains how far
+execution must go — which our ablation bench reproduces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis.distance import squared_distances
+from ..config import DEFAULT_SAMPLING, SamplingConfig
+from ..errors import SamplingError
+from .simpoint import DEFAULT_MAX_CLUSTER_SAMPLES, SimPoint
+
+
+class EarlySimPoint(SimPoint):
+    """SimPoint with early-point selection (the EarlySP criterion)."""
+
+    method_name = "early_sp"
+
+    def __init__(
+        self,
+        config: SamplingConfig = DEFAULT_SAMPLING,
+        interval_size: int | None = None,
+        kmax: int | None = None,
+        max_cluster_samples: int = DEFAULT_MAX_CLUSTER_SAMPLES,
+        tolerance: float = 0.30,
+    ) -> None:
+        super().__init__(
+            config,
+            interval_size=interval_size,
+            kmax=kmax,
+            max_cluster_samples=max_cluster_samples,
+        )
+        if tolerance < 0:
+            raise SamplingError("tolerance must be non-negative")
+        self.tolerance = tolerance
+
+    def _select(
+        self,
+        features: np.ndarray,
+        labels: np.ndarray,
+        centroids: np.ndarray,
+    ) -> np.ndarray:
+        """Earliest member within (1 + tolerance)^2 of the best distance."""
+        k = len(centroids)
+        picks = np.full(k, -1, dtype=np.int64)
+        distances = squared_distances(features, centroids)
+        slack = (1.0 + self.tolerance) ** 2
+        for phase in range(k):
+            members = np.flatnonzero(labels == phase)
+            if not len(members):
+                continue
+            member_distances = distances[members, phase]
+            cutoff = member_distances.min() * slack + 1e-12
+            eligible = members[member_distances <= cutoff]
+            picks[phase] = eligible[0]
+        return picks

@@ -1,0 +1,148 @@
+"""Reconstruct whole-program metrics from a sampling plan.
+
+Simulation points are detail-simulated with **functional warming**: the
+fast-forward from the start of the program to each point updates caches and
+branch predictors (what SimpleScalar's functional mode does when warmup is
+enabled, and what the paper's error rates presuppose).  All points of all
+plans for one (benchmark, config) pair are recorded in a *single* pass over
+the trace — the machine state at a point depends only on the trace prefix,
+so the pass is shared and its cost is bounded by one full-trace walk.
+
+A cheap alternative — a fixed warming window before each point
+(``SamplingConfig.full_warming = False``) — exists for fast tests and for
+the warmup ablation; it trades accuracy for per-point cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..config import DEFAULT_SAMPLING, SamplingConfig
+from ..detailed.results import Deviation, Metrics, SimulationResult, WeightedMetrics
+from ..detailed.timing import TimingSimulator
+from ..errors import SamplingError
+from .points import SamplingPlan, SimulationPoint
+
+#: A point's instruction range, the key of shared point-result caches.
+PointRange = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class PlanEvaluation:
+    """A plan's estimate next to the full-run baseline."""
+
+    plan: SamplingPlan
+    estimate: Metrics
+    baseline: Metrics
+    deviation: Deviation
+
+    @property
+    def benchmark(self) -> str:
+        """Benchmark name."""
+        return self.plan.benchmark
+
+
+def simulate_point_set(
+    simulator: TimingSimulator,
+    ranges: Iterable[PointRange],
+) -> Dict[PointRange, SimulationResult]:
+    """Detail-simulate every range with full functional warming, one pass.
+
+    The trace is walked once from instruction 0 to the end of the last
+    range; outside all ranges the machine state is warmed without recording,
+    inside them results accumulate (nested/overlapping ranges each receive
+    the shared stretch).
+    """
+    ranges = sorted(set(ranges))
+    if not ranges:
+        return {}
+    for start, end in ranges:
+        if end <= start or start < 0:
+            raise SamplingError(f"bad point range [{start}, {end})")
+    results = {r: SimulationResult() for r in ranges}
+
+    boundaries = sorted({0} | {b for r in ranges for b in r})
+    state = simulator.new_state()
+    throwaway = SimulationResult()
+    for a, b in zip(boundaries[:-1], boundaries[1:]):
+        active = [r for r in ranges if r[0] <= a and b <= r[1]]
+        if not active:
+            simulator.simulate_range(a, b, state=state, result=throwaway)
+            continue
+        piece = SimulationResult()
+        simulator.simulate_range(a, b, state=state, result=piece)
+        for r in active:
+            results[r].merge(piece)
+    return results
+
+
+def plan_ranges(plan: SamplingPlan) -> List[PointRange]:
+    """The detail-simulated ranges of *plan* (its leaves)."""
+    return [(leaf.start, leaf.end) for leaf in plan.leaves()]
+
+
+def simulate_leaf(
+    simulator: TimingSimulator,
+    leaf: SimulationPoint,
+    warmup: int,
+) -> SimulationResult:
+    """Detail-simulate one leaf with a fixed warming window (cheap mode)."""
+    return simulator.simulate_point(leaf.start, leaf.end, warmup=warmup)
+
+
+def estimate_plan(
+    plan: SamplingPlan,
+    simulator: TimingSimulator,
+    config: SamplingConfig = DEFAULT_SAMPLING,
+    cache: Optional[Dict[PointRange, SimulationResult]] = None,
+) -> Metrics:
+    """Whole-program metric estimate from the plan's weighted points.
+
+    ``cache`` carries point results across plans of the same benchmark and
+    config (the runner fills it with a single shared warming pass); missing
+    points are simulated on demand with the configured warming mode.
+    """
+    ranges = plan_ranges(plan)
+    missing = [r for r in ranges if cache is None or r not in cache]
+    if missing:
+        if config.full_warming:
+            fresh = simulate_point_set(simulator, missing)
+        else:
+            fresh = {
+                r: simulator.simulate_point(
+                    r[0], r[1], warmup=config.warmup_instructions
+                )
+                for r in missing
+            }
+        if cache is None:
+            cache = fresh
+        else:
+            cache.update(fresh)
+
+    accumulator = WeightedMetrics()
+    for leaf in plan.leaves():
+        if leaf.weight <= 0:
+            continue
+        result = cache[(leaf.start, leaf.end)]
+        accumulator.add(result.metrics(), leaf.weight)
+    if accumulator.weight_total <= 0:
+        raise SamplingError(f"{plan.method}: no usable leaves to estimate from")
+    return accumulator.finish()
+
+
+def evaluate_plan(
+    plan: SamplingPlan,
+    simulator: TimingSimulator,
+    baseline: Metrics,
+    config: SamplingConfig = DEFAULT_SAMPLING,
+    cache: Optional[Dict[PointRange, SimulationResult]] = None,
+) -> PlanEvaluation:
+    """Estimate the plan and compute its deviation from *baseline*."""
+    estimate = estimate_plan(plan, simulator, config=config, cache=cache)
+    return PlanEvaluation(
+        plan=plan,
+        estimate=estimate,
+        baseline=baseline,
+        deviation=Deviation.between(estimate, baseline),
+    )

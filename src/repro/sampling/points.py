@@ -1,0 +1,170 @@
+"""Simulation points and sampling plans.
+
+A :class:`SamplingPlan` is the output of every sampling method: the chosen
+simulation points, their phase weights, and the accounting that determines
+simulation cost — how many instructions must be simulated in detail and how
+many must be functionally fast-forwarded (everything up to the end of the
+last detailed region that is not itself simulated in detail).
+
+Multi-level plans nest: a coarse point that was re-sampled carries *children*
+(fine points, with already-composed global weights); only leaves are ever
+simulated in detail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Tuple
+
+from ..errors import SamplingError
+
+#: Weight sums are validated against 1.0 within this tolerance.
+WEIGHT_TOLERANCE = 1e-6
+
+
+@dataclass(frozen=True)
+class SimulationPoint:
+    """One selected interval: [start, end) instructions with a phase weight.
+
+    ``weight`` is the fraction of the represented population this point
+    stands for, composed through levels (a fine point inside a coarse point
+    of weight 0.5 that itself has fine weight 0.2 carries weight 0.1).
+    """
+
+    start: int
+    end: int
+    weight: float
+    phase: int
+    interval_index: int
+    children: Tuple["SimulationPoint", ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start or self.start < 0:
+            raise SamplingError(f"bad point range [{self.start}, {self.end})")
+        if not 0.0 <= self.weight <= 1.0 + WEIGHT_TOLERANCE:
+            raise SamplingError(f"point weight {self.weight} out of range")
+        for child in self.children:
+            if not (self.start <= child.start and child.end <= self.end):
+                raise SamplingError("child point escapes its parent")
+
+    @property
+    def size(self) -> int:
+        """Instructions in the point."""
+        return self.end - self.start
+
+    @property
+    def is_resampled(self) -> bool:
+        """True if this point is represented by fine-grained children."""
+        return bool(self.children)
+
+    def leaves(self) -> Iterator["SimulationPoint"]:
+        """The points actually simulated in detail (self, or the children)."""
+        if self.children:
+            yield from self.children
+        else:
+            yield self
+
+
+@dataclass(frozen=True)
+class SamplingPlan:
+    """The complete output of a sampling method for one benchmark."""
+
+    method: str
+    benchmark: str
+    points: Tuple[SimulationPoint, ...]
+    total_instructions: int
+    n_clusters: int
+    origin: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.points:
+            raise SamplingError(f"{self.method}: plan with no points")
+        if self.total_instructions <= 0:
+            raise SamplingError("total_instructions must be positive")
+        if self.origin < 0:
+            raise SamplingError("origin must be non-negative")
+        if self.n_clusters <= 0:
+            raise SamplingError("n_clusters must be positive")
+        top_weight = sum(p.weight for p in self.points)
+        if abs(top_weight - 1.0) > 1e-3:
+            raise SamplingError(
+                f"{self.method}: point weights sum to {top_weight:.6f}, not 1"
+            )
+        for point in self.points:
+            if point.end > self.origin + self.total_instructions:
+                raise SamplingError("point beyond end of program")
+            if point.start < self.origin:
+                raise SamplingError("point before start of represented range")
+            if point.children:
+                child_weight = sum(c.weight for c in point.children)
+                if abs(child_weight - point.weight) > 1e-3:
+                    raise SamplingError(
+                        "children weights do not compose to the parent weight"
+                    )
+
+    # ------------------------------------------------------------------
+    @property
+    def n_points(self) -> int:
+        """Number of top-level simulation points."""
+        return len(self.points)
+
+    def leaves(self) -> Iterator[SimulationPoint]:
+        """All points that get detailed simulation, in program order."""
+        for point in sorted(self.points, key=lambda p: p.start):
+            yield from point.leaves()
+
+    @property
+    def n_leaves(self) -> int:
+        """Number of detail-simulated points."""
+        return sum(1 for _ in self.leaves())
+
+    # ------------------------------------------------------------------
+    @property
+    def detail_instructions(self) -> int:
+        """Instructions simulated in cycle-accurate detail."""
+        return sum(leaf.size for leaf in self.leaves())
+
+    @property
+    def last_end(self) -> int:
+        """End of the last detail-simulated region.
+
+        Execution (functional or detailed) must reach this instruction; the
+        rest of the program is never simulated at all.
+        """
+        return max(leaf.end for leaf in self.leaves())
+
+    @property
+    def functional_instructions(self) -> int:
+        """Instructions that must be functionally fast-forwarded."""
+        return self.last_end - self.origin - self.detail_instructions
+
+    @property
+    def detail_fraction(self) -> float:
+        """Detail instructions over total program instructions."""
+        return self.detail_instructions / self.total_instructions
+
+    @property
+    def functional_fraction(self) -> float:
+        """Functional instructions over total program instructions."""
+        return self.functional_instructions / self.total_instructions
+
+    @property
+    def last_point_position(self) -> float:
+        """Position of the last simulation point (Section III-B's metric)."""
+        return (self.last_end - self.origin) / self.total_instructions
+
+    @property
+    def mean_interval_size(self) -> float:
+        """Mean size of the detail-simulated points."""
+        leaves = list(self.leaves())
+        return sum(l.size for l in leaves) / len(leaves)
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.method}[{self.benchmark}]: {self.n_points} points "
+            f"({self.n_leaves} leaves, {self.n_clusters} clusters), "
+            f"detail {self.detail_fraction:.4%}, "
+            f"functional {self.functional_fraction:.2%}, "
+            f"last point at {self.last_point_position:.2%}"
+        )

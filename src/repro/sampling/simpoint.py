@@ -1,0 +1,172 @@
+"""Fixed-length SimPoint (Sherwood et al., ASPLOS 2002) — the baseline.
+
+Pipeline, faithful to the SimPoint release the paper compares against:
+
+1. split execution into fixed-length intervals (10M instructions at paper
+   scale) and collect per-interval BBVs;
+2. normalise each BBV and randomly project it to 15 dimensions;
+3. run k-means for k = 1..Kmax (default 30), several seeds each, score with
+   BIC and keep the smallest k reaching 90% of the BIC range;
+4. pick, per cluster, the interval nearest the centroid as its simulation
+   point, weighted by the cluster's share of executed instructions.
+
+Like the SimPoint tool, clustering optionally runs on a random sub-sample of
+intervals (all intervals are then assigned to the nearest centroid), which
+bounds clustering cost on long programs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..analysis.bbv import normalize_rows
+from ..analysis.bic import cluster_with_bic
+from ..analysis.distance import nearest_to_centroid, squared_distances
+from ..analysis.metrics import metric_matrix
+from ..analysis.projection import RandomProjection
+from ..config import DEFAULT_SAMPLING, SamplingConfig
+from ..engine.profiles import FixedIntervalProfile
+from ..errors import SamplingError
+from ..isa.program import Program
+from .points import SamplingPlan, SimulationPoint
+
+#: Clustering runs on at most this many intervals (SimPoint-style sampling).
+DEFAULT_MAX_CLUSTER_SAMPLES = 4000
+
+
+class SimPoint:
+    """The fixed-length SimPoint baseline sampler."""
+
+    method_name = "simpoint"
+
+    def __init__(
+        self,
+        config: SamplingConfig = DEFAULT_SAMPLING,
+        interval_size: Optional[int] = None,
+        kmax: Optional[int] = None,
+        max_cluster_samples: int = DEFAULT_MAX_CLUSTER_SAMPLES,
+        metric: str = "bbv",
+    ) -> None:
+        self.config = config
+        self.interval_size = interval_size or config.fine_interval_size
+        self.kmax = kmax or config.fine_kmax
+        if max_cluster_samples < 2:
+            raise SamplingError("max_cluster_samples must be >= 2")
+        self.max_cluster_samples = max_cluster_samples
+        #: Phase metric: "bbv" (default), "loop_frequency" or "working_set"
+        #: (the Section II alternatives; non-BBV metrics need `program`).
+        self.metric = metric
+
+    # ------------------------------------------------------------------
+    def sample(
+        self,
+        profile: FixedIntervalProfile,
+        benchmark: str = "",
+        program: Optional[Program] = None,
+    ) -> SamplingPlan:
+        """Select simulation points from a fixed-interval profile.
+
+        *program* is required for the non-BBV metrics, which need the loop
+        nest / region table to fold the profile.
+        """
+        if profile.interval_size != self.interval_size:
+            raise SamplingError(
+                f"profile interval size {profile.interval_size} != sampler's "
+                f"{self.interval_size}"
+            )
+        features = self._project(profile, program)
+        labels, centroids, k = self._cluster(features)
+        weights = self._weights(profile, labels, k)
+        picks = self._select(features, labels, centroids)
+
+        points: List[SimulationPoint] = []
+        for phase in range(k):
+            pick = int(picks[phase])
+            if pick < 0:
+                continue
+            points.append(
+                SimulationPoint(
+                    start=int(profile.starts[pick]),
+                    end=profile.end_of(pick),
+                    weight=float(weights[phase]),
+                    phase=phase,
+                    interval_index=pick,
+                )
+            )
+        points.sort(key=lambda p: p.start)
+        return SamplingPlan(
+            method=self.method_name,
+            benchmark=benchmark,
+            points=tuple(points),
+            total_instructions=profile.total_instructions,
+            n_clusters=k,
+            origin=int(profile.starts[0]),
+        )
+
+    # ------------------------------------------------------------------
+    def _project(
+        self,
+        profile: FixedIntervalProfile,
+        program: Optional[Program] = None,
+    ) -> np.ndarray:
+        if self.metric == "bbv":
+            data = profile.bbv
+        else:
+            if program is None:
+                raise SamplingError(
+                    f"metric {self.metric!r} requires the program"
+                )
+            data = metric_matrix(self.metric, profile, program)
+        normalized = normalize_rows(data)
+        projection = RandomProjection(
+            data.shape[1],
+            min(self.config.projection_dim, data.shape[1]),
+            seed=self.config.random_seed,
+        )
+        return projection.project(normalized)
+
+    def _cluster(self, features: np.ndarray):
+        n = len(features)
+        rng = np.random.default_rng(self.config.random_seed)
+        if n > self.max_cluster_samples:
+            chosen = np.sort(
+                rng.choice(n, size=self.max_cluster_samples, replace=False)
+            )
+            fit_data = features[chosen]
+        else:
+            fit_data = features
+        result, _ = cluster_with_bic(
+            fit_data,
+            kmax=self.kmax,
+            seed=self.config.random_seed,
+            n_seeds=self.config.kmeans_seeds,
+            threshold=self.config.bic_threshold,
+        )
+        centroids = result.centroids
+        distances = squared_distances(features, centroids)
+        labels = np.argmin(distances, axis=1)
+        return labels, centroids, result.k
+
+    @staticmethod
+    def _weights(
+        profile: FixedIntervalProfile, labels: np.ndarray, k: int
+    ) -> np.ndarray:
+        weights = np.zeros(k, dtype=np.float64)
+        insts = profile.instructions.astype(np.float64)
+        for phase in range(k):
+            weights[phase] = insts[labels == phase].sum()
+        total = weights.sum()
+        if total <= 0:
+            raise SamplingError("no instructions in profile")
+        return weights / total
+
+    def _select(
+        self,
+        features: np.ndarray,
+        labels: np.ndarray,
+        centroids: np.ndarray,
+    ) -> np.ndarray:
+        """Representative choice: interval nearest each centroid."""
+        return nearest_to_centroid(features, labels, centroids)

@@ -1,0 +1,33 @@
+"""Microarchitecture component models."""
+
+from .branch import (
+    BimodalPredictor,
+    CombinedPredictor,
+    GSharePredictor,
+    advance_loop_branch,
+    exit_loop_branch,
+    make_predictor,
+    stationary_mispredict_rate,
+)
+from .cache import STREAM_FACTOR, Cache
+from .hierarchy import MemoryHierarchy
+from .occupancy import DataHierarchyModel, OccupancyCache
+from .scheduler import BlockScheduler, BlockTiming, effective_mlp
+
+__all__ = [
+    "BimodalPredictor",
+    "BlockScheduler",
+    "BlockTiming",
+    "Cache",
+    "CombinedPredictor",
+    "GSharePredictor",
+    "DataHierarchyModel",
+    "MemoryHierarchy",
+    "OccupancyCache",
+    "STREAM_FACTOR",
+    "advance_loop_branch",
+    "effective_mlp",
+    "exit_loop_branch",
+    "make_predictor",
+    "stationary_mispredict_rate",
+]

@@ -1,0 +1,41 @@
+"""Synthetic SPEC2000-like workload suite."""
+
+from . import schedule
+from .generator import InnerLayout, RegimeLayout, Workload, generate_workload
+from .registry import (
+    benchmark_names,
+    clear_cache,
+    get_spec,
+    load_workload,
+)
+from .spec import (
+    HEADER_BLOCK_SIZE,
+    N_NOISE_BLOCKS,
+    NOISE_BLOCK_SIZE,
+    BenchmarkSpec,
+    InnerLoopSpec,
+    RegimeSpec,
+)
+from .suite import QUICK_SUITE_NAMES, SUITE_NAMES, build_suite, scaled_spec
+
+__all__ = [
+    "BenchmarkSpec",
+    "HEADER_BLOCK_SIZE",
+    "InnerLayout",
+    "InnerLoopSpec",
+    "N_NOISE_BLOCKS",
+    "NOISE_BLOCK_SIZE",
+    "QUICK_SUITE_NAMES",
+    "RegimeLayout",
+    "RegimeSpec",
+    "SUITE_NAMES",
+    "Workload",
+    "benchmark_names",
+    "build_suite",
+    "clear_cache",
+    "generate_workload",
+    "get_spec",
+    "load_workload",
+    "scaled_spec",
+    "schedule",
+]

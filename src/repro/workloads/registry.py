@@ -1,0 +1,55 @@
+"""Benchmark registry: look specs up by name and cache generated workloads."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..errors import ProgramError
+from .generator import Workload, generate_workload
+from .spec import BenchmarkSpec
+from .suite import QUICK_SUITE_NAMES, SUITE_NAMES, build_suite, scaled_spec
+
+_SPECS: Optional[Dict[str, BenchmarkSpec]] = None
+_WORKLOADS: Dict[str, Workload] = {}
+
+
+def _specs() -> Dict[str, BenchmarkSpec]:
+    global _SPECS
+    if _SPECS is None:
+        _SPECS = build_suite()
+    return _SPECS
+
+
+def benchmark_names(quick: bool = False) -> List[str]:
+    """Names of the suite benchmarks (canonical order)."""
+    return list(QUICK_SUITE_NAMES if quick else SUITE_NAMES)
+
+
+def get_spec(name: str) -> BenchmarkSpec:
+    """Return the spec for benchmark *name*."""
+    specs = _specs()
+    if name not in specs:
+        raise ProgramError(
+            f"unknown benchmark {name!r}; known: {', '.join(sorted(specs))}"
+        )
+    return specs[name]
+
+
+def load_workload(name: str, scale: float = 1.0) -> Workload:
+    """Return the (cached) generated workload for benchmark *name*.
+
+    ``scale < 1`` returns a shrunken variant (for tests / smoke runs); scaled
+    variants are cached separately.
+    """
+    key = name if scale == 1.0 else f"{name}@{scale:g}"
+    if key not in _WORKLOADS:
+        spec = get_spec(name)
+        if scale != 1.0:
+            spec = scaled_spec(spec, scale)
+        _WORKLOADS[key] = generate_workload(spec)
+    return _WORKLOADS[key]
+
+
+def clear_cache() -> None:
+    """Drop all cached workloads (mainly for tests)."""
+    _WORKLOADS.clear()

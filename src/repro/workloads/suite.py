@@ -1,0 +1,639 @@
+"""The SPEC2000-like benchmark suite.
+
+Each entry is a synthetic analogue of a SPEC2000 benchmark (see DESIGN.md,
+"Substitutions").  The specs are tuned so the phase facts the paper reports
+hold by construction:
+
+* coarse-grained phase counts: average ~3; gzip 4, equake 6, fma3d 5
+  (Section III-B);
+* position of the last coarse simulation point: early but non-zero for most
+  benchmarks, ~86% for gcc, ~47% for art, ~36% for bzip2 (Section III-B);
+* gcc: 56 outer iterations with wildly varying sizes, one of which holds
+  ~60% of the dynamic instructions (Section V-A);
+* lucas: smooth coarse-grained behaviour but chaotic fine-grained behaviour
+  (Figure 1) — several dissimilar inner loops alternate within each outer
+  iteration.
+
+Loop trip counts are *derived* from the loop's working set: a visit sweeps
+its working set ``sweeps`` times (``iterations = sweeps * ws / (k * stride)``
+with ``k`` memory instructions per block), so cache behaviour is stationary
+across iteration instances — phases look like phases to the caches, not just
+to the BBVs.  Instruction counts are scaled 250:1 against the paper (see
+:mod:`repro.config`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..isa.builder import InstructionMix
+from . import schedule as sched
+from .spec import BenchmarkSpec, InnerLoopSpec, RegimeSpec
+
+KB = 1024
+MB = 1024 * KB
+
+#: Upper bound on instructions per inner-loop visit (see _loop).
+MAX_VISIT_INSTRUCTIONS = 3000
+
+#: Instruction mixes by flavour.
+_INT_MIX = InstructionMix(load=0.22, store=0.10, fp=0.0, mul_div=0.03)
+_INT_BRANCHY = InstructionMix(load=0.18, store=0.08, fp=0.0, mul_div=0.02)
+_FP_MIX = InstructionMix(load=0.28, store=0.12, fp=0.30, mul_div=0.02)
+_FP_STREAM = InstructionMix(load=0.32, store=0.16, fp=0.28, mul_div=0.01)
+_MEM_MIX = InstructionMix(load=0.34, store=0.12, fp=0.0, mul_div=0.02)
+
+
+def _loop(
+    name: str,
+    working_set: int,
+    mix: InstructionMix = _INT_MIX,
+    stride: int = 8,
+    branch_bias: float = 0.92,
+    visits: int = 2,
+    body_blocks: int = 1,
+    block_size: int = 24,
+    jitter: float = 0.10,
+    sweeps: float = 1.5,
+    region: str = None,
+) -> InnerLoopSpec:
+    """Inner-loop constructor deriving trip counts from the working set.
+
+    ``iterations = sweeps * working_set / (k * stride)`` where ``k`` is the
+    memory instructions per body block, so each visit touches the whole
+    working set about ``sweeps`` times.
+    """
+    body = max(1, block_size - 1)
+    k = max(1, round(body * (mix.load + mix.store)))
+    if working_set >= 512 * KB and sweeps >= 1.0:
+        # Loops over multi-megabyte data are sparse traversals (pointer
+        # chasing, indexed gathers): each visit touches a subset of the
+        # footprint, in many short visits, instead of sweeping all of it.
+        sweeps = 0.15
+        visits = min(visits * 4, 8)
+    iterations = max(40, round(sweeps * working_set / (k * stride)))
+    # Cap the visit length: fine-grained intervals must average over many
+    # visits (as the paper's 10M intervals do over real inner loops), or a
+    # 2.5K-instruction interval would resolve individual visits and turn
+    # fine-grained point selection into a cold-vs-warm-visit lottery.
+    visit_insts = iterations * body_blocks * block_size
+    if visit_insts > MAX_VISIT_INSTRUCTIONS:
+        factor = -(-visit_insts // MAX_VISIT_INSTRUCTIONS)  # ceil div
+        iterations = max(30, round(iterations / factor))
+        visits = visits * factor
+    return InnerLoopSpec(
+        name=name,
+        body_blocks=body_blocks,
+        block_size=block_size,
+        iterations=iterations,
+        jitter=jitter,
+        mix=mix,
+        working_set=working_set,
+        stride=stride,
+        branch_bias=branch_bias,
+        visits=visits,
+        region=region,
+    )
+
+
+def _regime(name: str, *loops: InnerLoopSpec) -> RegimeSpec:
+    return RegimeSpec(name=name, loops=tuple(loops))
+
+
+def _gzip() -> BenchmarkSpec:
+    """gzip: 4 coarse phases (deflate/inflate over different corpora)."""
+    regimes = (
+        _regime(
+            "deflate_text",
+            _loop("hash", 64 * KB, _INT_MIX, stride=32, branch_bias=0.88,
+                  visits=3),
+            _loop("match", 16 * KB, _INT_BRANCHY, stride=8, branch_bias=0.82,
+                  visits=2, body_blocks=2),
+            _loop("emit", 8 * KB, _INT_MIX, stride=8, branch_bias=0.95,
+                  visits=4),
+        ),
+        _regime(
+            "deflate_bin",
+            _loop("hash2", 128 * KB, _INT_MIX, stride=32, branch_bias=0.85,
+                  visits=2),
+            _loop("match2", 32 * KB, _INT_BRANCHY, stride=16, branch_bias=0.78,
+                  visits=2, body_blocks=2),
+        ),
+        _regime(
+            "inflate",
+            _loop("decode", 16 * KB, _INT_MIX, stride=8, branch_bias=0.90,
+                  visits=3, body_blocks=2),
+            _loop("copy", 96 * KB, _MEM_MIX, stride=32, branch_bias=0.97,
+                  visits=2),
+        ),
+        _regime(
+            "crc",
+            _loop("crc", 4 * KB, _INT_MIX, stride=8, branch_bias=0.99,
+                  visits=4, body_blocks=2),
+            _loop("scan", 256 * KB, _MEM_MIX, stride=32, branch_bias=0.93,
+                  visits=2),
+        ),
+    )
+    return BenchmarkSpec(
+        name="gzip", seed=101, regimes=regimes,
+        schedule=sched.staggered(4, 1008, intros=(0, 7, 14, 21)),
+        description="compression: 4 coarse phases, all early",
+    )
+
+
+def _vpr() -> BenchmarkSpec:
+    regimes = (
+        _regime(
+            "place",
+            _loop("swap", 64 * KB, _INT_BRANCHY, stride=16, branch_bias=0.80,
+                  visits=3),
+            _loop("cost", 32 * KB, _FP_MIX, branch_bias=0.94, visits=2,
+                  body_blocks=2),
+        ),
+        _regime(
+            "route",
+            _loop("expand", 256 * KB, _MEM_MIX, stride=32, branch_bias=0.86,
+                  visits=2),
+            _loop("trace", 64 * KB, _INT_MIX, stride=8, branch_bias=0.90,
+                  visits=2, body_blocks=2),
+        ),
+    )
+    return BenchmarkSpec(
+        name="vpr", seed=102, regimes=regimes,
+        schedule=sched.staggered(2, 750, intros=(0, 9)),
+        description="FPGA place & route, 2 phases",
+    )
+
+
+def _gcc() -> BenchmarkSpec:
+    """gcc: 56 outer iterations; one holds ~60% of all instructions.
+
+    The dominant iteration runs a regime seen nowhere else, so its coarse
+    phase is first classified at ~86% of the run and COASTS alone must
+    detail-simulate 60% of the program (Section V-A).
+    """
+    regimes = (
+        _regime(
+            "parse",
+            _loop("lex", 32 * KB, _INT_BRANCHY, branch_bias=0.84, visits=3,
+                  body_blocks=2),
+            _loop("tree", 128 * KB, _INT_MIX, stride=16, branch_bias=0.88,
+                  visits=2),
+        ),
+        _regime(
+            "rtl",
+            _loop("gen", 64 * KB, _INT_MIX, branch_bias=0.90, visits=3,
+                  body_blocks=2),
+            _loop("jump_opt", 16 * KB, _INT_BRANCHY, branch_bias=0.80,
+                  visits=3),
+        ),
+        _regime(
+            "global_opt",
+            _loop("dataflow", 768 * KB, _MEM_MIX, stride=32, branch_bias=0.87,
+                  visits=2, region="ir"),
+            _loop("regalloc", 256 * KB, _INT_MIX, stride=16, branch_bias=0.85,
+                  visits=2, region="ir"),
+        ),
+    )
+    n = 56
+    dominant = 35
+    base = list(sched.cyclic(2, n))
+    base[dominant] = 2  # the unique giant-iteration regime
+    scales = sched.dominant_iteration_scales(
+        n, dominant_index=dominant, dominant_fraction=0.60, spread=0.7, seed=7
+    )
+    return BenchmarkSpec(
+        name="gcc", seed=103, regimes=regimes,
+        schedule=tuple(base), iteration_scale=scales,
+        description="compiler: 56 wildly-sized iterations, one dominant",
+    )
+
+
+def _mcf() -> BenchmarkSpec:
+    regimes = (
+        _regime(
+            "simplex",
+            _loop("pivot", 2 * MB, _MEM_MIX, stride=64, branch_bias=0.88,
+                  visits=2, sweeps=1.2, region="graph"),
+            _loop("price", 1 * MB, _MEM_MIX, stride=64, branch_bias=0.91,
+                  visits=1, sweeps=1.2, region="graph"),
+        ),
+        _regime(
+            "flow",
+            _loop("augment", 768 * KB, _MEM_MIX, stride=32, branch_bias=0.86,
+                  visits=2, sweeps=1.2, region="graph"),
+            _loop("relabel", 64 * KB, _INT_MIX, branch_bias=0.90, visits=2),
+        ),
+    )
+    return BenchmarkSpec(
+        name="mcf", seed=104, regimes=regimes,
+        schedule=sched.staggered(2, 600, intros=(0, 12)),
+        description="memory-bound network simplex",
+    )
+
+
+def _crafty() -> BenchmarkSpec:
+    regimes = (
+        _regime(
+            "search",
+            _loop("movegen", 24 * KB, _INT_BRANCHY, branch_bias=0.76,
+                  visits=3, body_blocks=2),
+            _loop("evaluate", 48 * KB, _INT_MIX, stride=16, branch_bias=0.83,
+                  visits=2, body_blocks=2),
+        ),
+        _regime(
+            "quiesce",
+            _loop("capture", 16 * KB, _INT_BRANCHY, branch_bias=0.74,
+                  visits=3, body_blocks=2),
+            _loop("hash_probe", 512 * KB, _MEM_MIX, stride=64,
+                  branch_bias=0.90, visits=2),
+        ),
+        _regime(
+            "endgame",
+            _loop("table", 128 * KB, _INT_MIX, stride=32, branch_bias=0.88,
+                  visits=2, body_blocks=2),
+        ),
+    )
+    return BenchmarkSpec(
+        name="crafty", seed=105, regimes=regimes,
+        schedule=sched.staggered(3, 800, intros=(0, 20, 40)),
+        description="chess: branchy integer search",
+    )
+
+
+def _parser() -> BenchmarkSpec:
+    regimes = (
+        _regime(
+            "tokenize",
+            _loop("scan", 16 * KB, _INT_MIX, branch_bias=0.91, visits=3,
+                  body_blocks=2),
+            _loop("dict", 192 * KB, _MEM_MIX, stride=32, branch_bias=0.84,
+                  visits=2),
+        ),
+        _regime(
+            "link",
+            _loop("match", 96 * KB, _INT_BRANCHY, stride=16, branch_bias=0.79,
+                  visits=2, body_blocks=2),
+            _loop("prune", 32 * KB, _INT_MIX, branch_bias=0.87, visits=3),
+        ),
+    )
+    return BenchmarkSpec(
+        name="parser", seed=106, regimes=regimes,
+        schedule=sched.markov(2, 770, stay_probability=0.6, seed=11),
+        description="NL parser, sticky 2-phase behaviour",
+    )
+
+
+def _vortex() -> BenchmarkSpec:
+    regimes = (
+        _regime(
+            "insert",
+            _loop("btree", 384 * KB, _MEM_MIX, stride=32, branch_bias=0.87,
+                  visits=2, region="db"),
+            _loop("pack", 32 * KB, _INT_MIX, branch_bias=0.92, visits=2,
+                  body_blocks=2),
+        ),
+        _regime(
+            "lookup",
+            _loop("probe", 768 * KB, _MEM_MIX, stride=64, branch_bias=0.89,
+                  visits=2, sweeps=1.2, region="db"),
+            _loop("validate", 16 * KB, _INT_MIX, branch_bias=0.93, visits=3),
+        ),
+        _regime(
+            "delete",
+            _loop("unlink", 256 * KB, _INT_MIX, stride=32, branch_bias=0.85,
+                  visits=2, region="db"),
+        ),
+    )
+    return BenchmarkSpec(
+        name="vortex", seed=107, regimes=regimes,
+        schedule=sched.staggered(3, 800, intros=(0, 32, 64)),
+        description="OO database transactions",
+    )
+
+
+def _bzip2() -> BenchmarkSpec:
+    """bzip2: the sorting regime first appears ~34% in; last coarse point
+    lands near the paper's 36%."""
+    regimes = (
+        _regime(
+            "rle",
+            _loop("runlen", 16 * KB, _INT_MIX, branch_bias=0.90, visits=3,
+                  body_blocks=2),
+            _loop("mtf", 64 * KB, _INT_MIX, stride=8, branch_bias=0.88,
+                  visits=2),
+        ),
+        _regime(
+            "huffman",
+            _loop("encode", 32 * KB, _INT_MIX, branch_bias=0.93, visits=3,
+                  body_blocks=2),
+            _loop("tables", 8 * KB, _INT_MIX, branch_bias=0.96, visits=3),
+        ),
+        _regime(
+            "blocksort",
+            _loop("sort", 512 * KB, _MEM_MIX, stride=32, branch_bias=0.81,
+                  visits=4, sweeps=1.2),
+        ),
+    )
+    base = sched.cyclic(3, 840)
+    return BenchmarkSpec(
+        name="bzip2", seed=108, regimes=regimes,
+        schedule=sched.late_phase(base, late_regime=2, first_at=0.34),
+        description="compression: block-sort phase appears ~34% in",
+    )
+
+
+def _twolf_schedule() -> Tuple[int, ...]:
+    """Blocked hot->cold annealing with one early cold dip, so the cold
+    regime's earliest instance sits near the start of the run."""
+    out = list(sched.blocked(2, 700))
+    out[24] = 1
+    return tuple(out)
+
+
+def _twolf() -> BenchmarkSpec:
+    regimes = (
+        _regime(
+            "anneal_hot",
+            _loop("move", 96 * KB, _INT_BRANCHY, stride=16, branch_bias=0.80,
+                  visits=2, body_blocks=2),
+            _loop("wirelen", 48 * KB, _FP_MIX, branch_bias=0.92, visits=2,
+                  body_blocks=2),
+        ),
+        _regime(
+            "anneal_cold",
+            _loop("move_small", 32 * KB, _INT_MIX, branch_bias=0.89, visits=3,
+                  body_blocks=2),
+            _loop("accept", 8 * KB, _INT_BRANCHY, branch_bias=0.83, visits=3),
+        ),
+    )
+    return BenchmarkSpec(
+        name="twolf", seed=109, regimes=regimes,
+        schedule=_twolf_schedule(),
+        description="place/route annealing, hot->cold",
+    )
+
+
+def _swim() -> BenchmarkSpec:
+    regimes = (
+        _regime(
+            "calc1",
+            _loop("stencil_u", 768 * KB, _FP_STREAM, stride=32,
+                  branch_bias=0.99, visits=2, sweeps=1.2, region="grid"),
+            _loop("stencil_v", 768 * KB, _FP_STREAM, stride=32,
+                  branch_bias=0.99, visits=2, sweeps=1.2, region="grid"),
+        ),
+        _regime(
+            "calc2",
+            _loop("update", 1536 * KB, _FP_STREAM, stride=32, branch_bias=0.99,
+                  visits=2, sweeps=1.2, region="grid"),
+        ),
+    )
+    return BenchmarkSpec(
+        name="swim", seed=110, regimes=regimes,
+        schedule=sched.staggered(2, 600, intros=(0, 30)),
+        description="shallow-water stencils, streaming FP",
+    )
+
+
+def _applu() -> BenchmarkSpec:
+    regimes = (
+        _regime(
+            "jacobi",
+            _loop("blts", 384 * KB, _FP_MIX, stride=16, branch_bias=0.98,
+                  visits=2, region="grid"),
+            _loop("buts", 384 * KB, _FP_MIX, stride=16, branch_bias=0.98,
+                  visits=2, region="grid"),
+        ),
+        _regime(
+            "rhs",
+            _loop("flux", 768 * KB, _FP_STREAM, stride=32, branch_bias=0.98,
+                  visits=2, sweeps=1.2, region="grid"),
+        ),
+        _regime(
+            "norm",
+            _loop("l2norm", 192 * KB, _FP_MIX, stride=8, branch_bias=0.99,
+                  visits=2, region="grid"),
+        ),
+    )
+    return BenchmarkSpec(
+        name="applu", seed=111, regimes=regimes,
+        schedule=sched.staggered(3, 750, intros=(0, 40, 80)),
+        description="SSOR CFD solver",
+    )
+
+
+def _mesa() -> BenchmarkSpec:
+    regimes = (
+        _regime(
+            "transform",
+            _loop("vertex", 64 * KB, _FP_MIX, branch_bias=0.97, visits=3),
+            _loop("clip", 16 * KB, _FP_MIX, branch_bias=0.90, visits=3),
+        ),
+        _regime(
+            "raster",
+            _loop("span", 256 * KB, _FP_STREAM, stride=16, branch_bias=0.96,
+                  visits=2),
+            _loop("texture", 512 * KB, _MEM_MIX, stride=32, branch_bias=0.94,
+                  visits=2, sweeps=1.2),
+        ),
+    )
+    return BenchmarkSpec(
+        name="mesa", seed=112, regimes=regimes,
+        schedule=sched.staggered(2, 700, intros=(0, 42)),
+        description="software GL pipeline",
+    )
+
+
+def _art() -> BenchmarkSpec:
+    """art: the scan/test phase first appears ~45% in; the paper reports the
+    last coarse point at ~47%."""
+    regimes = (
+        _regime(
+            "train",
+            _loop("f1_layer", 384 * KB, _FP_MIX, stride=32, branch_bias=0.97,
+                  visits=2, region="net"),
+            _loop("weights", 1 * MB, _FP_STREAM, stride=64, branch_bias=0.98,
+                  visits=1, sweeps=1.2, region="net"),
+        ),
+        _regime(
+            "scan",
+            _loop("match", 1 * MB, _FP_STREAM, stride=64, branch_bias=0.97,
+                  visits=2, sweeps=1.2, region="net"),
+        ),
+    )
+    base = sched.cyclic(2, 800)
+    return BenchmarkSpec(
+        name="art", seed=113, regimes=regimes,
+        schedule=sched.late_phase(base, late_regime=1, first_at=0.45),
+        description="neural net: test phase appears ~45% in",
+    )
+
+
+def _equake() -> BenchmarkSpec:
+    """equake: 6 coarse phases (the paper's maximum)."""
+    def phase(i: int, ws: int, stride: int) -> RegimeSpec:
+        return _regime(
+            f"step{i}",
+            _loop("smvp", ws, _FP_MIX, stride=stride, branch_bias=0.97,
+                  visits=2, sweeps=1.2 if ws >= MB else 1.5, region="mesh"),
+            _loop("disp", max(16 * KB, ws // 4), _FP_STREAM, stride=8,
+                  branch_bias=0.98, visits=2, region="disp"),
+        )
+
+    regimes = tuple(
+        phase(i, ws, stride)
+        for i, (ws, stride) in enumerate(
+            [(128 * KB, 16), (256 * KB, 32), (512 * KB, 32),
+             (1 * MB, 64), (64 * KB, 8), (1536 * KB, 64)]
+        )
+    )
+    return BenchmarkSpec(
+        name="equake", seed=114, regimes=regimes,
+        schedule=sched.staggered(6, 840, intros=(0, 7, 14, 21, 28, 35)),
+        description="earthquake FEM: 6 coarse phases",
+    )
+
+
+def _lucas() -> BenchmarkSpec:
+    """lucas: smooth coarse-grained curve, chaotic fine-grained curve
+    (Figure 1) — four dissimilar inner loops alternate inside every outer
+    iteration with high per-visit jitter."""
+    regimes = (
+        _regime(
+            "fft_pass",
+            _loop("butterfly", 128 * KB, _FP_MIX, stride=16,
+                  branch_bias=0.98, visits=2, jitter=0.30),
+            _loop("twiddle", 32 * KB, _FP_MIX, stride=8,
+                  branch_bias=0.98, visits=2, jitter=0.30),
+            _loop("carry", 16 * KB, _INT_MIX, stride=8,
+                  branch_bias=0.95, visits=2, jitter=0.30),
+            _loop("square", 32 * KB, _FP_STREAM, stride=8,
+                  branch_bias=0.98, visits=2, jitter=0.30),
+        ),
+        _regime(
+            "mult_pass",
+            _loop("butterfly2", 128 * KB, _FP_MIX, stride=16,
+                  branch_bias=0.98, visits=2, jitter=0.30),
+            _loop("norm", 32 * KB, _FP_MIX, stride=8,
+                  branch_bias=0.98, visits=2, jitter=0.30),
+        ),
+    )
+    # Long same-phase runs with one early dip: the coarse-grained curve is
+    # smooth (Figure 1b) while inner-loop alternation keeps the fine-grained
+    # curve chaotic (Figure 1a).
+    schedule = list(sched.blocked(2, 640))
+    schedule[9] = 1
+    return BenchmarkSpec(
+        name="lucas", seed=115, regimes=regimes,
+        schedule=tuple(schedule),
+        description="Lucas-Lehmer FFT: Fig 1's granularity example",
+    )
+
+
+def _fma3d() -> BenchmarkSpec:
+    """fma3d: 5 coarse phases."""
+    def phase(i: int, ws: int) -> RegimeSpec:
+        return _regime(
+            f"elem{i}",
+            _loop("force", ws, _FP_MIX, stride=32, branch_bias=0.97,
+                  visits=2, sweeps=1.2 if ws >= MB else 1.5, region="mesh"),
+            _loop("stress", max(16 * KB, ws // 2), _FP_STREAM, stride=8,
+                  branch_bias=0.97, visits=2, region="elem"),
+        )
+
+    regimes = tuple(
+        phase(i, ws)
+        for i, ws in enumerate(
+            [64 * KB, 256 * KB, 512 * KB, 128 * KB, 1 * MB]
+        )
+    )
+    return BenchmarkSpec(
+        name="fma3d", seed=116, regimes=regimes,
+        schedule=sched.staggered(5, 800, intros=(0, 6, 12, 18, 24)),
+        description="crash FEM: 5 coarse phases",
+    )
+
+
+def build_suite() -> Dict[str, BenchmarkSpec]:
+    """Return the full 16-benchmark suite, keyed by name."""
+    specs = [
+        _gzip(), _vpr(), _gcc(), _mcf(), _crafty(), _parser(), _vortex(),
+        _bzip2(), _twolf(), _swim(), _applu(), _mesa(), _art(), _equake(),
+        _lucas(), _fma3d(),
+    ]
+    return {s.name: s for s in specs}
+
+
+#: Names of the benchmarks in the suite, in canonical order.
+SUITE_NAMES: Tuple[str, ...] = (
+    "gzip", "vpr", "gcc", "mcf", "crafty", "parser", "vortex", "bzip2",
+    "twolf", "swim", "applu", "mesa", "art", "equake", "lucas", "fma3d",
+)
+
+#: A small, fast subset used by tests and quick examples.
+QUICK_SUITE_NAMES: Tuple[str, ...] = ("gzip", "lucas", "mcf")
+
+
+def scaled_spec(spec: BenchmarkSpec, factor: float) -> BenchmarkSpec:
+    """Return a shrunken copy of *spec* for fast tests.
+
+    Inner-loop trip counts and the schedule length are scaled by *factor*
+    (minimum one iteration of everything); the phase structure is preserved.
+    Working sets scale with the trip counts so the sweep behaviour is kept.
+    """
+    if factor <= 0:
+        raise ValueError("factor must be positive")
+    from dataclasses import replace
+
+    # The schedule length scales linearly; per-visit trip counts and working
+    # sets scale by sqrt(factor) so scaled iteration sizes stay well above
+    # the fine-interval size and the coarse/fine hierarchy survives.
+    loop_factor = factor ** 0.5
+    regimes = tuple(
+        replace(
+            regime,
+            loops=tuple(
+                replace(
+                    loop,
+                    iterations=max(2, int(round(loop.iterations * loop_factor))),
+                    working_set=max(
+                        1024, int(round(loop.working_set * loop_factor))
+                    ),
+                    visits=max(1, min(loop.visits, 6)),
+                )
+                for loop in regime.loops
+            ),
+        )
+        for regime in spec.regimes
+    )
+    n_regimes = len(spec.regimes)
+    keep = max(n_regimes * 3, int(round(len(spec.schedule) * factor)))
+    keep = min(keep, len(spec.schedule))
+    # Decimate (rather than truncate) the schedule so phase-introduction
+    # positions keep their fractions of the run.
+    import numpy as np
+
+    indices = sorted(
+        {int(i) for i in np.linspace(0, len(spec.schedule) - 1, keep)}
+    )
+    schedule = list(spec.schedule[i] for i in indices)
+    # Pin each regime's first occurrence at its original fraction of the
+    # run — decimation must not move phase-introduction positions.
+    first = {}
+    for i, regime in enumerate(spec.schedule):
+        first.setdefault(regime, i / len(spec.schedule))
+    for regime in range(n_regimes):
+        target = min(len(schedule) - 1, int(round(first[regime] * len(schedule))))
+        if regime not in schedule[: target + 1]:
+            schedule[target] = regime
+    schedule = tuple(schedule)
+    scales = (
+        tuple(spec.iteration_scale[i] for i in indices)
+        if spec.iteration_scale else ()
+    )
+    # Shrink the prologue init loop too, so its coverage stays below the
+    # boundary-collection floor in scaled-down runs as well.
+    prologue = 1 if factor < 0.5 else spec.prologue_iterations
+    return replace(spec, regimes=regimes, schedule=schedule,
+                   iteration_scale=scales, prologue_iterations=prologue)

@@ -1,0 +1,144 @@
+"""Tests for BBV utilities, projection, PCA and distance helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    PCA,
+    RandomProjection,
+    concat_signatures,
+    earliest_member,
+    first_component,
+    nearest_to_centroid,
+    normalize_rows,
+    project_bbvs,
+    squared_distances,
+)
+from repro.errors import ClusteringError
+
+
+class TestNormalizeRows:
+    def test_rows_sum_to_one(self):
+        data = np.array([[1.0, 3.0], [2.0, 2.0]])
+        normalized = normalize_rows(data)
+        assert np.allclose(normalized.sum(axis=1), 1.0)
+
+    def test_zero_rows_stay_zero(self):
+        data = np.array([[0.0, 0.0], [1.0, 1.0]])
+        normalized = normalize_rows(data)
+        assert np.allclose(normalized[0], 0.0)
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ClusteringError):
+            normalize_rows(np.zeros(3))
+
+
+class TestRandomProjection:
+    def test_shape_and_determinism(self):
+        projection = RandomProjection(100, 15, seed=3)
+        data = np.random.default_rng(0).random((20, 100))
+        out = projection.project(data)
+        assert out.shape == (20, 15)
+        again = RandomProjection(100, 15, seed=3).project(data)
+        assert np.array_equal(out, again)
+
+    def test_preserves_relative_distances(self):
+        """Johnson-Lindenstrauss sanity: close pairs stay closer than far
+        pairs, on average."""
+        rng = np.random.default_rng(7)
+        base = rng.random((1, 200))
+        close = base + rng.normal(0, 0.01, (50, 200))
+        far = rng.random((50, 200))
+        projection = RandomProjection(200, 15, seed=1)
+        p_base = projection.project(base)
+        d_close = np.linalg.norm(projection.project(close) - p_base, axis=1)
+        d_far = np.linalg.norm(projection.project(far) - p_base, axis=1)
+        assert d_close.mean() < d_far.mean()
+
+    def test_dimension_mismatch(self):
+        projection = RandomProjection(10, 4)
+        with pytest.raises(ClusteringError):
+            projection.project(np.zeros((3, 11)))
+
+    def test_project_bbvs_normalizes_first(self):
+        bbvs = np.array([[2.0, 0.0], [4.0, 0.0]])
+        out = project_bbvs(bbvs, dim=3, seed=0)
+        assert np.allclose(out[0], out[1])
+
+
+class TestConcatSignatures:
+    def test_shape(self):
+        seg_bbvs = np.random.default_rng(2).random((6, 4, 30))
+        signatures = concat_signatures(seg_bbvs, dim=15, seed=0)
+        assert signatures.shape == (6, 60)
+        assert np.allclose(signatures.sum(axis=1), 1.0)
+
+    def test_preserves_temporal_structure(self):
+        """Instances whose sub-chunks are permuted get different signatures
+        even though their total BBVs coincide."""
+        rng = np.random.default_rng(5)
+        a = rng.random((1, 3, 20))
+        b = a[:, ::-1, :].copy()
+        signatures = concat_signatures(
+            np.concatenate([a, b]), dim=10, seed=0
+        )
+        assert not np.allclose(signatures[0], signatures[1])
+
+    def test_rejects_wrong_rank(self):
+        with pytest.raises(ClusteringError):
+            concat_signatures(np.zeros((3, 4)), dim=5)
+
+
+class TestPCA:
+    def test_first_component_separates_clusters(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(0, 0.1, (30, 5))
+        b = rng.normal(4, 0.1, (30, 5))
+        values = first_component(np.vstack([a, b]))
+        assert (values[:30].mean() < values[30:].mean()) or \
+            (values[:30].mean() > values[30:].mean())
+        assert abs(values[:30].mean() - values[30:].mean()) > 5
+
+    def test_transform_requires_fit(self):
+        with pytest.raises(ClusteringError):
+            PCA().transform(np.zeros((3, 2)))
+
+    def test_explained_variance_ordered(self):
+        rng = np.random.default_rng(1)
+        data = rng.normal(size=(50, 6)) * np.array([10, 5, 1, 1, 1, 1])
+        pca = PCA(n_components=3).fit(data)
+        ev = pca.explained_variance_
+        assert ev[0] >= ev[1] >= ev[2]
+
+    def test_needs_two_samples(self):
+        with pytest.raises(ClusteringError):
+            PCA().fit(np.zeros((1, 4)))
+
+
+class TestDistances:
+    def test_squared_distances_match_numpy(self):
+        rng = np.random.default_rng(3)
+        data = rng.random((10, 4))
+        centers = rng.random((3, 4))
+        out = squared_distances(data, centers)
+        brute = ((data[:, None, :] - centers[None, :, :]) ** 2).sum(axis=2)
+        assert np.allclose(out, brute)
+
+    def test_nearest_to_centroid_picks_closest_member(self):
+        data = np.array([[0.0], [1.0], [10.0], [11.0]])
+        labels = np.array([0, 0, 1, 1])
+        centroids = np.array([[0.4], [10.6]])
+        picks = nearest_to_centroid(data, labels, centroids)
+        assert picks.tolist() == [0, 3]
+
+    def test_nearest_handles_empty_cluster(self):
+        data = np.array([[0.0], [1.0]])
+        labels = np.array([0, 0])
+        centroids = np.array([[0.5], [9.0]])
+        picks = nearest_to_centroid(data, labels, centroids)
+        assert picks[1] == -1
+
+    def test_earliest_member_picks_first(self):
+        labels = np.array([1, 0, 1, 0, 2])
+        picks = earliest_member(labels, 3)
+        assert picks.tolist() == [1, 0, 4]

@@ -1,0 +1,49 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "gzip"])
+        assert args.benchmark == "gzip"
+        assert args.config == "a"
+        assert args.scale == 1.0
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "doom3"])
+
+    def test_experiment_names(self):
+        for name in EXPERIMENTS:
+            args = build_parser().parse_args(["experiment", name])
+            assert args.name == name
+
+    def test_scale_flag(self):
+        args = build_parser().parse_args(["--scale", "0.1", "run", "mcf"])
+        assert args.scale == 0.1
+
+
+class TestExecution:
+    def test_run_small_benchmark(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        code = main(["--scale", "0.1", "run", "gzip"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "baseline CPI" in out
+        assert "multilevel" in out and "coasts" in out
+
+    def test_fig1_experiment(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        code = main(["--scale", "0.1", "experiment", "fig1",
+                     "--benchmark", "lucas"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "granularity" in out
+        assert "coarse" in out

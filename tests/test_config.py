@@ -1,0 +1,139 @@
+"""Tests for machine/sampling configuration (Table I encoding)."""
+
+import pytest
+
+from repro.config import (
+    CONFIG_A,
+    CONFIG_B,
+    DEFAULT_COST_MODEL,
+    DEFAULT_SAMPLING,
+    FINE_INTERVAL_SIZE,
+    FINE_KMAX,
+    RESAMPLE_THRESHOLD,
+    SCALE,
+    BranchPredictorConfig,
+    CacheConfig,
+    CostModel,
+    FunctionalUnits,
+    MachineConfig,
+    SamplingConfig,
+)
+from repro.errors import ConfigError
+
+
+class TestScaling:
+    def test_fine_interval_is_ten_paper_m(self):
+        assert FINE_INTERVAL_SIZE == 10 * SCALE
+
+    def test_resample_threshold_is_interval_times_kmax(self):
+        # The paper derives 300M as 10M * 30.
+        assert RESAMPLE_THRESHOLD == FINE_INTERVAL_SIZE * FINE_KMAX
+
+
+class TestCacheConfig:
+    def test_table1_dl1_geometry(self):
+        dl1 = CONFIG_A.dcache
+        assert dl1.size == 16 * 1024
+        assert dl1.assoc == 4
+        assert dl1.line_size == 32
+        assert dl1.n_sets == 128
+        assert dl1.n_lines == 512
+
+    def test_direct_mapped_has_one_way_per_set(self):
+        il1 = CONFIG_B.icache
+        assert il1.assoc == 1
+        assert il1.n_sets == il1.n_lines
+
+    def test_rejects_inconsistent_geometry(self):
+        with pytest.raises(ConfigError):
+            CacheConfig("bad", size=1000, assoc=3, line_size=32, latency=1)
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(ConfigError):
+            CacheConfig("bad", size=1024, assoc=1, line_size=32, latency=-1)
+
+
+class TestMachineConfig:
+    def test_config_a_matches_table1_part_a(self):
+        assert CONFIG_A.issue_width == 8
+        assert CONFIG_A.rob_entries == 128
+        assert CONFIG_A.lsq_entries == 64
+        assert CONFIG_A.functional_units.int_alu == 8
+        assert CONFIG_A.functional_units.load_store == 4
+        assert CONFIG_A.l2cache.size == 1024 * 1024
+        assert CONFIG_A.mem_latency_first == 150
+
+    def test_config_b_matches_table1_part_b(self):
+        assert CONFIG_B.functional_units.int_alu == 6
+        assert CONFIG_B.functional_units.load_store == 2
+        assert CONFIG_B.functional_units.fp_add == 6
+        assert CONFIG_B.dcache.size == 128 * 1024
+        assert CONFIG_B.dcache.assoc == 2
+        assert CONFIG_B.icache.assoc == 1
+        assert CONFIG_B.l2cache.size == 4 * 1024 * 1024
+        assert CONFIG_B.mem_latency_first == 200
+
+    def test_with_name_preserves_other_fields(self):
+        renamed = CONFIG_A.with_name("other")
+        assert renamed.name == "other"
+        assert renamed.dcache == CONFIG_A.dcache
+
+    def test_rejects_memory_faster_than_l2(self):
+        with pytest.raises(ConfigError):
+            MachineConfig(name="bad", mem_latency_first=5)
+
+    def test_rejects_zero_width(self):
+        with pytest.raises(ConfigError):
+            MachineConfig(name="bad", issue_width=0)
+
+
+class TestBranchPredictorConfig:
+    def test_default_is_combined_8k(self):
+        assert CONFIG_A.branch.kind == "combined"
+        assert CONFIG_A.branch.bht_entries == 8192
+
+    def test_rejects_non_power_of_two_entries(self):
+        with pytest.raises(ConfigError):
+            BranchPredictorConfig(bht_entries=1000)
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ConfigError):
+            BranchPredictorConfig(kind="neural")
+
+
+class TestFunctionalUnits:
+    def test_rejects_zero_units(self):
+        with pytest.raises(ConfigError):
+            FunctionalUnits(int_alu=0)
+
+
+class TestSamplingConfig:
+    def test_defaults_match_paper(self):
+        assert DEFAULT_SAMPLING.fine_kmax == 30
+        assert DEFAULT_SAMPLING.coarse_kmax == 3
+        assert DEFAULT_SAMPLING.projection_dim == 15
+        assert DEFAULT_SAMPLING.min_structure_coverage == 0.01
+
+    def test_rejects_threshold_below_interval(self):
+        with pytest.raises(ConfigError):
+            SamplingConfig(fine_interval_size=1000, resample_threshold=500)
+
+    def test_rejects_bad_coverage(self):
+        with pytest.raises(ConfigError):
+            SamplingConfig(min_structure_coverage=1.5)
+
+
+class TestCostModel:
+    def test_calibrated_ratio_reproduces_paper_speedups(self):
+        """Plugging Table III's fractions into the cost model must land near
+        the paper's 6.78x and 14.04x headline speedups."""
+        model = DEFAULT_COST_MODEL
+        t_simpoint = 0.0009 * model.detail_cost + 0.9376
+        t_coasts = 0.0037 * model.detail_cost + 0.0221
+        t_multilevel = 0.0005 * model.detail_cost + 0.0506
+        assert t_simpoint / t_coasts == pytest.approx(6.78, rel=0.05)
+        assert t_simpoint / t_multilevel == pytest.approx(14.04, rel=0.05)
+
+    def test_rejects_detail_cheaper_than_functional(self):
+        with pytest.raises(ConfigError):
+            CostModel(detail_cost=0.5, functional_cost=1.0)

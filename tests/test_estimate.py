@@ -1,0 +1,116 @@
+"""Tests for metric estimation from sampling plans."""
+
+import pytest
+
+from repro.config import CONFIG_A
+from repro.detailed import TimingSimulator
+from repro.detailed.results import Deviation, Metrics, SimulationResult
+from repro.sampling import Coasts, SimPoint, evaluate_plan
+from repro.sampling.estimate import (
+    estimate_plan,
+    plan_ranges,
+    simulate_point_set,
+)
+
+
+@pytest.fixture(scope="module")
+def simulator(small_trace):
+    return TimingSimulator(small_trace, CONFIG_A)
+
+
+@pytest.fixture(scope="module")
+def baseline(simulator):
+    return simulator.simulate_full().metrics()
+
+
+class TestSimulatePointSet:
+    def test_single_range(self, simulator, small_trace):
+        total = small_trace.total_instructions
+        ranges = [(total // 2, total // 2 + 2000)]
+        results = simulate_point_set(simulator, ranges)
+        assert set(results) == set(ranges)
+        assert results[ranges[0]].instructions >= 2000
+
+    def test_disjoint_ranges_sum_like_sequential(self, simulator,
+                                                 small_trace):
+        total = small_trace.total_instructions
+        ranges = [(1000, 3000), (total // 2, total // 2 + 2000)]
+        results = simulate_point_set(simulator, ranges)
+        assert all(r.instructions >= 1900 for r in results.values())
+
+    def test_nested_ranges_share_simulation(self, simulator, small_trace):
+        outer = (10_000, 20_000)
+        inner = (12_000, 14_000)
+        results = simulate_point_set(simulator, [outer, inner])
+        assert results[outer].instructions > results[inner].instructions
+        # nested counts are contained in the outer result
+        assert results[outer].cycles >= results[inner].cycles
+
+    def test_warming_matters(self, simulator, small_trace):
+        """Points simulated with full warming hit more than cold points."""
+        total = small_trace.total_instructions
+        rng = (total // 2, total // 2 + 2000)
+        warmed = simulate_point_set(simulator, [rng])[rng]
+        cold = simulator.simulate_point(*rng, warmup=0)
+        assert warmed.l1d_misses <= cold.l1d_misses
+
+    def test_empty_set(self, simulator):
+        assert simulate_point_set(simulator, []) == {}
+
+
+class TestEstimatePlan:
+    def test_simpoint_estimate_same_magnitude(
+        self, simulator, baseline, small_fine_profile, test_sampling
+    ):
+        """At the tiny test scale the estimate is noisy; full-scale accuracy
+        is covered by the integration test and the Table II bench.  Here we
+        only require the right order of magnitude."""
+        plan = SimPoint(test_sampling).sample(small_fine_profile)
+        estimate = estimate_plan(plan, simulator, config=test_sampling)
+        assert 0.3 < estimate.cpi / baseline.cpi < 3.0
+
+    def test_coasts_estimate_same_magnitude(
+        self, simulator, baseline, small_trace, test_sampling
+    ):
+        plan = Coasts(test_sampling).sample(small_trace)
+        estimate = estimate_plan(plan, simulator, config=test_sampling)
+        assert 0.3 < estimate.cpi / baseline.cpi < 3.0
+
+    def test_cache_shares_leaf_results(self, simulator, small_trace,
+                                       test_sampling):
+        plan = Coasts(test_sampling).sample(small_trace)
+        cache = {}
+        first = estimate_plan(plan, simulator, config=test_sampling,
+                              cache=cache)
+        assert set(cache) == set(plan_ranges(plan))
+        # a second estimate must not re-simulate: poison detection by
+        # replacing the simulator with None-like object would raise
+        second = estimate_plan(plan, None, config=test_sampling, cache=cache)
+        assert second == first
+
+    def test_evaluate_plan_reports_deviation(self, simulator, baseline,
+                                             small_trace, test_sampling):
+        plan = Coasts(test_sampling).sample(small_trace)
+        evaluation = evaluate_plan(plan, simulator, baseline,
+                                   config=test_sampling)
+        assert isinstance(evaluation.deviation, Deviation)
+        assert evaluation.deviation.cpi >= 0
+        assert evaluation.benchmark == plan.benchmark
+
+
+class TestDeviationMath:
+    def test_between(self):
+        baseline = Metrics(cpi=2.0, l1_hit_rate=0.9, l2_hit_rate=0.5)
+        estimate = Metrics(cpi=2.2, l1_hit_rate=0.85, l2_hit_rate=0.6)
+        deviation = Deviation.between(estimate, baseline)
+        assert deviation.cpi == pytest.approx(0.1)
+        assert deviation.l1_hit_rate == pytest.approx(0.05)
+        assert deviation.l2_hit_rate == pytest.approx(0.1)
+
+    def test_merge_accumulates(self):
+        a = SimulationResult(instructions=10, cycles=20.0, branches=2)
+        b = SimulationResult(instructions=5, cycles=5.0, branches=1)
+        a.merge(b)
+        assert a.instructions == 15
+        assert a.cycles == 25.0
+        assert a.branches == 3

@@ -1,0 +1,127 @@
+"""Tests for the functional simulator and its profilers."""
+
+import numpy as np
+import pytest
+
+from repro.engine import FunctionalSimulator
+from repro.errors import TraceError
+
+
+class TestRun:
+    def test_counts_match_trace(self, small_functional, small_trace):
+        result = small_functional.run()
+        assert result.total_instructions == small_trace.total_instructions
+        assert result.block_counts.sum() > 0
+        manual = (result.block_counts *
+                  small_trace.program.block_sizes).sum()
+        assert manual == result.total_instructions
+
+
+class TestFixedIntervalProfile:
+    def test_bbv_mass_equals_instructions(self, small_fine_profile,
+                                          small_trace):
+        assert small_fine_profile.bbv.sum() == pytest.approx(
+            small_trace.total_instructions
+        )
+
+    def test_per_interval_mass_matches_instruction_counts(
+        self, small_fine_profile
+    ):
+        per_interval = small_fine_profile.bbv.sum(axis=1)
+        assert np.allclose(per_interval, small_fine_profile.instructions)
+
+    def test_interval_grid(self, small_fine_profile, small_trace):
+        profile = small_fine_profile
+        assert profile.starts[0] == 0
+        assert np.all(np.diff(profile.starts) == profile.interval_size)
+        assert profile.end_of(profile.n_intervals - 1) == \
+            small_trace.total_instructions
+
+    def test_range_restricted_profile(self, small_functional, small_trace):
+        total = small_trace.total_instructions
+        start, end = total // 4, total // 4 + 4000
+        profile = small_functional.profile_fixed_intervals(
+            1000, start=start, end=end
+        )
+        assert profile.n_intervals == 4
+        assert profile.starts[0] == start
+        assert profile.bbv.sum() == pytest.approx(end - start)
+
+    def test_bad_ranges_rejected(self, small_functional, small_trace):
+        with pytest.raises(TraceError):
+            small_functional.profile_fixed_intervals(0)
+        with pytest.raises(TraceError):
+            small_functional.profile_fixed_intervals(
+                1000, start=10, end=10
+            )
+
+    def test_different_intervals_have_different_bbvs(self, small_fine_profile):
+        bbv = small_fine_profile.bbv
+        # phase behaviour: at least some intervals differ substantially
+        normalized = bbv / np.maximum(bbv.sum(axis=1, keepdims=True), 1)
+        spread = np.abs(normalized[1:] - normalized[:-1]).sum(axis=1)
+        assert spread.max() > 0.1
+
+
+class TestCoarseIntervalProfile:
+    def test_instances_align_with_outer_iterations(self, small_functional,
+                                                   small_trace):
+        profile = small_functional.profile_coarse_intervals(4)
+        assert profile.n_instances == small_trace.spec.n_outer_iterations
+        assert profile.total_instructions == \
+            small_trace.total_instructions - small_trace.prologue_end
+
+    def test_segment_bbvs_sum_to_instance_bbv(self, small_functional):
+        profile = small_functional.profile_coarse_intervals(4)
+        combined = profile.segment_bbvs.sum(axis=1)
+        assert np.allclose(combined, profile.bbv, rtol=1e-9, atol=1e-6)
+
+    def test_custom_bounds(self, small_functional, small_trace):
+        bounds = np.array(
+            [[0, 3000], [3000, 9000]], dtype=np.int64
+        )
+        profile = small_functional.profile_coarse_intervals(2, bounds=bounds)
+        assert profile.n_instances == 2
+        assert profile.instructions.tolist() == [3000, 6000]
+        assert profile.bbv[0].sum() == pytest.approx(3000)
+
+    def test_same_regime_instances_similar_bbvs(self, small_functional,
+                                                small_trace):
+        """Coarse BBVs of iterations of the same regime nearly coincide."""
+        profile = small_functional.profile_coarse_intervals(4)
+        schedule = small_trace.spec.schedule
+        n_regimes = len(small_trace.spec.regimes)
+        same = [i for i, r in enumerate(schedule) if r == schedule[0]]
+        normalized = profile.bbv / profile.bbv.sum(axis=1, keepdims=True)
+        if len(same) >= 2:
+            delta_same = np.abs(normalized[same[0]] - normalized[same[1]]).sum()
+            other = next(i for i, r in enumerate(schedule) if r != schedule[0])
+            delta_diff = np.abs(normalized[same[0]] - normalized[other]).sum()
+            assert delta_same < delta_diff
+
+
+class TestStructureProfiles:
+    def test_outer_loop_dominates_coverage(self, small_functional,
+                                           small_trace):
+        profiles = small_functional.profile_structures()
+        outer = profiles[small_trace.workload.outer_loop_id]
+        assert outer.coverage > 0.9
+        assert outer.instances == small_trace.spec.n_outer_iterations
+
+    def test_init_loop_below_coverage_floor(self, small_functional,
+                                            small_trace):
+        profiles = small_functional.profile_structures()
+        init = profiles[small_trace.workload.init_loop_id]
+        assert init.coverage < 0.01
+
+    def test_inner_loops_counted(self, small_functional, small_trace):
+        profiles = small_functional.profile_structures()
+        inner_ids = [
+            inner.loop_id
+            for layout in small_trace.workload.regime_layouts
+            for inner in layout.loops
+        ]
+        visited = [profiles[i] for i in inner_ids if profiles[i].instances]
+        assert visited, "no inner loop executed"
+        for profile in visited:
+            assert profile.instructions > 0

@@ -1,0 +1,83 @@
+"""Tests for the alternative phase-classification metrics (Section II)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    loop_frequency_matrix,
+    metric_matrix,
+    working_set_matrix,
+)
+from repro.errors import ClusteringError, SamplingError
+from repro.sampling import SimPoint
+
+
+class TestLoopFrequencyMatrix:
+    def test_one_column_per_loop(self, small_fine_profile, small_trace):
+        lfv = loop_frequency_matrix(small_fine_profile, small_trace.program)
+        assert lfv.shape == (
+            small_fine_profile.n_intervals,
+            len(small_trace.program.loops),
+        )
+        assert (lfv >= 0).all()
+
+    def test_counts_iterations_not_instructions(self, small_fine_profile,
+                                                small_trace):
+        """Total LFV mass across all intervals approximates the number of
+        dynamic loop iterations, not the instruction count."""
+        lfv = loop_frequency_matrix(small_fine_profile, small_trace.program)
+        total_iterations = sum(
+            seg.reps for seg in small_trace.segments if seg.loop_id >= 0
+        )
+        assert lfv.sum() == pytest.approx(total_iterations, rel=0.25)
+
+
+class TestWorkingSetMatrix:
+    def test_one_column_per_region_plus_compute(self, small_fine_profile,
+                                                small_trace):
+        wsv = working_set_matrix(small_fine_profile, small_trace.program)
+        assert wsv.shape == (
+            small_fine_profile.n_intervals,
+            len(small_trace.program.regions) + 1,
+        )
+
+    def test_preserves_instruction_mass(self, small_fine_profile,
+                                        small_trace):
+        wsv = working_set_matrix(small_fine_profile, small_trace.program)
+        assert wsv.sum() == pytest.approx(small_fine_profile.bbv.sum())
+
+    def test_regions_distinguish_regimes(self, small_fine_profile,
+                                         small_trace):
+        wsv = working_set_matrix(small_fine_profile, small_trace.program)
+        normalized = wsv / np.maximum(wsv.sum(axis=1, keepdims=True), 1e-12)
+        spread = np.abs(normalized[1:] - normalized[:-1]).sum(axis=1)
+        assert spread.max() > 0.1
+
+
+class TestMetricDispatch:
+    def test_bbv_passthrough(self, small_fine_profile, small_trace):
+        out = metric_matrix("bbv", small_fine_profile, small_trace.program)
+        assert out is small_fine_profile.bbv
+
+    def test_unknown_metric(self, small_fine_profile, small_trace):
+        with pytest.raises(ClusteringError):
+            metric_matrix("vibes", small_fine_profile, small_trace.program)
+
+
+class TestSimPointWithMetrics:
+    def test_non_bbv_requires_program(self, small_fine_profile,
+                                      test_sampling):
+        sampler = SimPoint(test_sampling, metric="loop_frequency")
+        with pytest.raises(SamplingError):
+            sampler.sample(small_fine_profile)
+
+    @pytest.mark.parametrize("metric", ["loop_frequency", "working_set"])
+    def test_alternative_metrics_produce_valid_plans(
+        self, metric, small_fine_profile, small_trace, test_sampling
+    ):
+        plan = SimPoint(test_sampling, metric=metric).sample(
+            small_fine_profile, benchmark="gzip",
+            program=small_trace.program,
+        )
+        assert 1 <= plan.n_points <= test_sampling.fine_kmax
+        assert sum(p.weight for p in plan.points) == pytest.approx(1.0)

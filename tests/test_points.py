@@ -1,0 +1,127 @@
+"""Tests for simulation points, plans and cost accounting."""
+
+import pytest
+
+from repro.config import CostModel
+from repro.errors import SamplingError
+from repro.sampling import (
+    SamplingPlan,
+    SimulationPoint,
+    full_detail_cost,
+    plan_cost,
+    speedup,
+    speedup_over_full,
+)
+
+
+def point(start, end, weight, phase=0, index=0, children=()):
+    return SimulationPoint(start=start, end=end, weight=weight, phase=phase,
+                           interval_index=index, children=children)
+
+
+def plan(points, total=100_000, method="test", origin=0):
+    return SamplingPlan(method=method, benchmark="bench",
+                        points=tuple(points), total_instructions=total,
+                        n_clusters=len(points), origin=origin)
+
+
+class TestSimulationPoint:
+    def test_rejects_empty_range(self):
+        with pytest.raises(SamplingError):
+            point(10, 10, 0.5)
+
+    def test_rejects_bad_weight(self):
+        with pytest.raises(SamplingError):
+            point(0, 10, 1.5)
+
+    def test_children_must_nest(self):
+        child = point(5, 15, 0.5)
+        with pytest.raises(SamplingError):
+            point(0, 10, 0.5, children=(child,))
+
+    def test_leaves_of_plain_point(self):
+        p = point(0, 10, 1.0)
+        assert list(p.leaves()) == [p]
+
+    def test_leaves_of_resampled_point(self):
+        children = (point(0, 5, 0.6), point(5, 10, 0.4))
+        p = point(0, 10, 1.0, children=children)
+        assert list(p.leaves()) == list(children)
+        assert p.is_resampled
+
+
+class TestSamplingPlan:
+    def test_weights_must_sum_to_one(self):
+        with pytest.raises(SamplingError):
+            plan([point(0, 10, 0.4), point(20, 30, 0.4)])
+
+    def test_points_must_fit_program(self):
+        with pytest.raises(SamplingError):
+            plan([point(0, 200_000, 1.0)], total=100_000)
+
+    def test_child_weights_must_compose(self):
+        children = (point(0, 5, 0.2),)  # parent weight 1.0
+        with pytest.raises(SamplingError):
+            plan([point(0, 1000, 1.0, children=children)])
+
+    def test_accounting_simple(self):
+        p = plan([point(1000, 2000, 0.3), point(5000, 6000, 0.7)])
+        assert p.detail_instructions == 2000
+        assert p.last_end == 6000
+        assert p.functional_instructions == 4000
+        assert p.detail_fraction == pytest.approx(0.02)
+        assert p.last_point_position == pytest.approx(0.06)
+
+    def test_accounting_multilevel(self):
+        children = (
+            point(10_000, 10_500, 0.3),
+            point(30_000, 30_500, 0.3),
+        )
+        coarse = point(10_000, 50_000, 0.6, children=children)
+        tail = point(60_000, 61_000, 0.4)
+        p = plan([coarse, tail])
+        # detail = two 500-inst children + the 1000-inst leaf point
+        assert p.detail_instructions == 2000
+        assert p.n_leaves == 3
+        assert p.last_end == 61_000
+        assert p.functional_instructions == 61_000 - 2000
+
+    def test_origin_offsets_accounting(self):
+        p = plan([point(10_000, 11_000, 1.0)], total=20_000, origin=5_000)
+        assert p.functional_instructions == 11_000 - 5_000 - 1_000
+        assert p.last_point_position == pytest.approx(6_000 / 20_000)
+
+    def test_describe_mentions_method(self):
+        text = plan([point(0, 10, 1.0)]).describe()
+        assert "test" in text and "points" in text
+
+
+class TestCost:
+    def test_time_formula(self):
+        p = plan([point(1000, 2000, 1.0)])
+        cost = plan_cost(p)
+        model = CostModel(detail_cost=10.0, functional_cost=1.0)
+        assert cost.time(model) == 1000 * 10 + 1000 * 1
+
+    def test_profiling_cost_optional(self):
+        p = plan([point(1000, 2000, 1.0)])
+        cost = plan_cost(p)
+        model = CostModel(detail_cost=10.0, functional_cost=1.0,
+                          profile_cost=0.5)
+        assert cost.time(model, include_profiling=True) == \
+            cost.time(model) + 0.5 * 100_000
+
+    def test_speedup_ratio(self):
+        fast = plan([point(1000, 2000, 1.0)])
+        slow = plan([point(90_000, 91_000, 1.0)])
+        assert speedup(fast, slow) > 1.0
+        assert speedup(fast, slow) == pytest.approx(
+            plan_cost(slow).time() / plan_cost(fast).time()
+        )
+
+    def test_speedup_over_full(self):
+        p = plan([point(1000, 2000, 1.0)])
+        assert speedup_over_full(p) == pytest.approx(
+            full_detail_cost(100_000).time() / plan_cost(p).time()
+        )
+        assert speedup_over_full(p) > 10

@@ -1,0 +1,124 @@
+"""Tests for trace generation and slicing."""
+
+import numpy as np
+import pytest
+
+from repro.engine import Segment, SegmentPiece, Trace, build_trace
+from repro.errors import TraceError
+from repro.workloads import generate_workload, get_spec, scaled_spec
+
+
+class TestSegment:
+    def test_rejects_empty_blocks(self):
+        with pytest.raises(TraceError):
+            Segment(blocks=(), reps=1)
+
+    def test_rejects_zero_reps(self):
+        with pytest.raises(TraceError):
+            Segment(blocks=(0,), reps=0)
+
+
+class TestTraceStructure:
+    def test_total_matches_segment_sum(self, small_trace):
+        assert small_trace.total_instructions == \
+            int(small_trace.segment_instructions.sum())
+
+    def test_segment_starts_monotone(self, small_trace):
+        starts = small_trace.seg_starts
+        assert np.all(np.diff(starts) > 0)
+        assert starts[0] == 0
+
+    def test_outer_bounds_partition_main_phase(self, small_trace):
+        bounds = small_trace.outer_bounds()
+        assert bounds[0, 0] == small_trace.prologue_end
+        assert bounds[-1, 1] == small_trace.total_instructions
+        # contiguity
+        assert np.array_equal(bounds[1:, 0], bounds[:-1, 1])
+
+    def test_outer_iteration_count_matches_schedule(self, small_trace):
+        assert len(small_trace.outer_bounds()) == \
+            small_trace.spec.n_outer_iterations
+
+    def test_locate_finds_containing_segment(self, small_trace):
+        for inst in (0, 1, small_trace.total_instructions - 1,
+                     small_trace.total_instructions // 2):
+            index = small_trace.locate(inst)
+            start, end = small_trace.segment_span(index)
+            assert start <= inst < end
+
+    def test_locate_out_of_range(self, small_trace):
+        with pytest.raises(TraceError):
+            small_trace.locate(small_trace.total_instructions)
+        with pytest.raises(TraceError):
+            small_trace.locate(-1)
+
+    def test_deterministic(self, small_workload):
+        t1 = build_trace(small_workload)
+        t2 = build_trace(small_workload)
+        assert t1.segments == t2.segments
+
+    def test_init_scans_emitted_in_prologue(self, small_trace):
+        scan_blocks = {b for b, _ in small_trace.workload.init_scans}
+        emitted = set()
+        for index, seg in enumerate(small_trace.segments):
+            if small_trace.seg_starts[index] >= small_trace.prologue_end:
+                break
+            emitted |= set(seg.blocks)
+        assert scan_blocks <= emitted
+
+    def test_visits_restart_iteration_base(self, small_trace):
+        """Every loop-body segment restarts its sweep (iter_base == 0)."""
+        for seg in small_trace.segments:
+            assert seg.iter_base == 0
+
+
+class TestClip:
+    def test_clip_covers_requested_range(self, small_trace):
+        total = small_trace.total_instructions
+        start, end = total // 3, total // 3 + 5000
+        pieces = list(small_trace.clip(start, end))
+        assert pieces
+        first = pieces[0]
+        assert first.start_inst <= start
+        last = pieces[-1]
+        last_len = sum(
+            small_trace.program.block_sizes[b] for b in last.segment.blocks
+        )
+        assert last.start_inst + last.n_reps * int(last_len) >= end
+
+    def test_clip_pieces_are_contiguous_whole_reps(self, small_trace):
+        total = small_trace.total_instructions
+        pieces = list(small_trace.clip(total // 4, total // 2))
+        for piece in pieces:
+            assert isinstance(piece, SegmentPiece)
+            assert 0 < piece.n_reps <= piece.segment.reps
+
+    def test_clip_full_range_covers_everything(self, small_trace):
+        pieces = list(small_trace.clip(0, small_trace.total_instructions))
+        covered = 0
+        for piece in pieces:
+            rep_len = sum(
+                int(small_trace.program.block_sizes[b])
+                for b in piece.segment.blocks
+            )
+            covered += piece.n_reps * rep_len
+        assert covered == small_trace.total_instructions
+
+    def test_clip_rejects_bad_ranges(self, small_trace):
+        with pytest.raises(TraceError):
+            list(small_trace.clip(10, 10))
+        with pytest.raises(TraceError):
+            list(small_trace.clip(-5, 10))
+        with pytest.raises(TraceError):
+            list(small_trace.clip(0, small_trace.total_instructions + 1))
+
+
+class TestGccTrace:
+    def test_dominant_iteration_dominates(self):
+        """gcc keeps its Section V-A pathology: one outer iteration holds
+        ~60% of the instructions (trace building alone is cheap)."""
+        trace = build_trace(generate_workload(get_spec("gcc")))
+        bounds = trace.outer_bounds()
+        sizes = bounds[:, 1] - bounds[:, 0]
+        assert len(sizes) == 56
+        assert 0.5 < sizes.max() / sizes.sum() < 0.7

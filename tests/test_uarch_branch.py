@@ -1,0 +1,126 @@
+"""Tests for branch predictors and their analytic counterparts."""
+
+import numpy as np
+import pytest
+
+from repro.config import BranchPredictorConfig
+from repro.errors import SimulationError
+from repro.uarch import (
+    BimodalPredictor,
+    CombinedPredictor,
+    GSharePredictor,
+    advance_loop_branch,
+    exit_loop_branch,
+    make_predictor,
+    stationary_mispredict_rate,
+)
+
+
+class TestLoopBranchAnalytic:
+    def test_saturates_and_stops_mispredicting(self):
+        state, mispredicts = advance_loop_branch(0, 100)
+        assert state == 3
+        assert mispredicts == 2  # counter at 0 and 1 predicted not-taken
+
+    def test_warm_counter_never_mispredicts_takens(self):
+        state, mispredicts = advance_loop_branch(3, 50)
+        assert mispredicts == 0
+        assert state == 3
+
+    def test_exit_mispredicts_when_saturated(self):
+        state, mispredict = exit_loop_branch(3)
+        assert mispredict == 1
+        assert state == 2
+
+    def test_exit_correct_when_weak(self):
+        state, mispredict = exit_loop_branch(1)
+        assert mispredict == 0
+        assert state == 0
+
+    def test_matches_step_by_step_simulation(self):
+        """The O(1) formula equals explicit 2-bit counter simulation."""
+        for start in range(4):
+            for takens in (0, 1, 2, 3, 10):
+                counter, mispredicts = start, 0
+                for _ in range(takens):
+                    if counter < 2:
+                        mispredicts += 1
+                    counter = min(3, counter + 1)
+                assert advance_loop_branch(start, takens) == \
+                    (counter, mispredicts)
+
+    def test_rejects_bad_state(self):
+        with pytest.raises(SimulationError):
+            advance_loop_branch(5, 1)
+
+
+class TestStationaryRate:
+    def test_deterministic_branches_never_mispredict(self):
+        assert stationary_mispredict_rate(0.0) == 0.0
+        assert stationary_mispredict_rate(1.0) == 0.0
+
+    def test_symmetric(self):
+        assert stationary_mispredict_rate(0.3) == pytest.approx(
+            stationary_mispredict_rate(0.7)
+        )
+
+    def test_worst_at_half(self):
+        assert stationary_mispredict_rate(0.5) == pytest.approx(0.5)
+        assert stationary_mispredict_rate(0.9) < \
+            stationary_mispredict_rate(0.6)
+
+    def test_matches_monte_carlo(self):
+        """The Markov stationary rate matches a simulated 2-bit counter."""
+        rng = np.random.default_rng(1)
+        p = 0.8
+        counter, mispredicts, n = 1, 0, 200_000
+        for taken in rng.random(n) < p:
+            predicted = counter >= 2
+            if predicted != taken:
+                mispredicts += 1
+            counter = min(3, counter + 1) if taken else max(0, counter - 1)
+        assert mispredicts / n == pytest.approx(
+            stationary_mispredict_rate(p), abs=0.01
+        )
+
+
+class TestStatefulPredictors:
+    def test_bimodal_learns_bias(self):
+        predictor = BimodalPredictor(1024)
+        for _ in range(10):
+            predictor.update(0x400, True)
+        assert predictor.predict(0x400) is True
+
+    def test_gshare_learns_alternating_pattern(self):
+        predictor = GSharePredictor(1024, history_bits=4)
+        pattern = [True, False] * 200
+        for taken in pattern:
+            predictor.update(0x400, taken)
+        # After training, predictions should track the alternation.
+        correct = 0
+        for taken in [True, False] * 20:
+            if predictor.predict(0x400) == taken:
+                correct += 1
+            predictor.update(0x400, taken)
+        assert correct >= 35
+
+    def test_combined_tracks_accuracy(self):
+        predictor = CombinedPredictor(BranchPredictorConfig())
+        for _ in range(100):
+            predictor.update(0x100, True)
+        assert predictor.predictions == 100
+        assert predictor.mispredict_rate < 0.1
+
+    def test_make_predictor_dispatch(self):
+        assert isinstance(
+            make_predictor(BranchPredictorConfig(kind="bimodal")),
+            BimodalPredictor,
+        )
+        assert isinstance(
+            make_predictor(BranchPredictorConfig(kind="gshare")),
+            GSharePredictor,
+        )
+        assert isinstance(
+            make_predictor(BranchPredictorConfig(kind="combined")),
+            CombinedPredictor,
+        )

@@ -1,0 +1,82 @@
+"""Tests for the static block scheduler."""
+
+import pytest
+
+from repro.config import CONFIG_A, CONFIG_B
+from repro.isa import BasicBlock, Instruction, Opcode
+from repro.uarch import BlockScheduler, effective_mlp
+
+
+def block_of(instructions):
+    return BasicBlock(block_id=0, name="b", instructions=tuple(instructions))
+
+
+class TestBlockScheduler:
+    def test_width_bound_for_independent_alu(self):
+        """16 independent ALU ops on an 8-wide machine: 2 cycles."""
+        insts = [Instruction(Opcode.IALU, dest=i % 32, srcs=())
+                 for i in range(16)]
+        timing = BlockScheduler(CONFIG_A).schedule(block_of(insts))
+        assert timing.throughput_cycles == pytest.approx(2.0)
+        assert timing.base_cycles >= 2.0
+
+    def test_fu_bound_dominates_for_fp_heavy_block(self):
+        """8 FP adds on 2 FP adders: 4 cycles despite 8-wide issue."""
+        insts = [Instruction(Opcode.FADD, dest=i, srcs=()) for i in range(8)]
+        timing = BlockScheduler(CONFIG_A).schedule(block_of(insts))
+        assert timing.throughput_cycles == pytest.approx(4.0)
+
+    def test_config_b_has_fewer_load_store_units(self):
+        insts = [
+            Instruction(Opcode.LOAD, dest=i, mem_region=0, srcs=())
+            for i in range(8)
+        ]
+        block = block_of(insts)
+        a = BlockScheduler(CONFIG_A).schedule(block)
+        b = BlockScheduler(CONFIG_B).schedule(block)
+        # A has 4 load/store units, B has 2.
+        assert b.throughput_cycles == pytest.approx(2 * a.throughput_cycles)
+
+    def test_critical_path_follows_dependences(self):
+        insts = [
+            Instruction(Opcode.IALU, dest=1, srcs=()),
+            Instruction(Opcode.IMUL, dest=2, srcs=(1,)),
+            Instruction(Opcode.IALU, dest=3, srcs=(2,)),
+        ]
+        timing = BlockScheduler(CONFIG_A).schedule(block_of(insts))
+        assert timing.critical_path == 1 + 3 + 1
+
+    def test_load_latency_on_critical_path(self):
+        insts = [
+            Instruction(Opcode.LOAD, dest=1, mem_region=0, srcs=()),
+            Instruction(Opcode.IALU, dest=2, srcs=(1,)),
+        ]
+        timing = BlockScheduler(CONFIG_A).schedule(block_of(insts))
+        assert timing.critical_path == (CONFIG_A.dcache.latency + 1) + 1
+
+    def test_rob_derates_long_chains(self):
+        """A long serial chain is partially hidden by ROB overlap."""
+        insts = []
+        for i in range(16):
+            insts.append(Instruction(Opcode.IALU, dest=1, srcs=(1,)))
+        timing = BlockScheduler(CONFIG_A).schedule(block_of(insts))
+        overlap = CONFIG_A.rob_entries / 16
+        assert timing.base_cycles == pytest.approx(
+            max(timing.throughput_cycles, 16 / overlap)
+        )
+
+    def test_schedule_program_vector(self, small_trace):
+        cycles = BlockScheduler(CONFIG_A).schedule_program(small_trace.program)
+        assert len(cycles) == small_trace.program.n_blocks
+        assert (cycles > 0).all()
+
+
+class TestEffectiveMlp:
+    def test_in_range(self):
+        assert 1.0 <= effective_mlp(CONFIG_A) <= 4.0
+
+    def test_monotone_in_lsq(self):
+        from dataclasses import replace
+
+        deeper = replace(CONFIG_A, name="deep", lsq_entries=128)
+        assert effective_mlp(deeper) >= effective_mlp(CONFIG_A)
