@@ -10,6 +10,7 @@ fast.
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 
 import pytest
@@ -21,8 +22,13 @@ OUT_DIR = Path(__file__).parent / "out"
 
 @pytest.fixture(scope="session")
 def runner():
-    """Full-scale runner with the paper-default sampling configuration."""
-    return ExperimentRunner(cache=ResultCache())
+    """Full-scale runner with the paper-default sampling configuration.
+
+    ``REPRO_JOBS`` fans per-benchmark pipelines out over worker processes
+    (0 = one per CPU); every bench that drives a whole suite benefits.
+    """
+    jobs = int(os.environ.get("REPRO_JOBS", "1"))
+    return ExperimentRunner(cache=ResultCache(), jobs=jobs)
 
 
 @pytest.fixture(scope="session")

@@ -4,16 +4,21 @@ Three subcommands drive the library without writing Python::
 
     python -m repro run gzip                  # one benchmark, all methods
     python -m repro suite --config b          # whole-suite summary table
+    python -m repro suite --jobs 4 --timing   # parallel, with stage report
     python -m repro experiment fig3           # regenerate a paper table/figure
 
 Heavy artefacts are disk-cached exactly as in the benches (the
-``.repro_cache`` directory, or ``$REPRO_CACHE_DIR``).
+``.repro_cache`` directory, or ``$REPRO_CACHE_DIR``); the cache is safe to
+share between the parallel workers of one or several invocations.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import logging
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from .config import CONFIG_A, CONFIG_B, MachineConfig
@@ -35,6 +40,34 @@ EXPERIMENTS = ("fig1", "fig3", "fig4", "table2", "table3", "motivation")
 
 def _config_of(name: str) -> MachineConfig:
     return {"a": CONFIG_A, "b": CONFIG_B}[name.lower()]
+
+
+def _configure_logging(args: argparse.Namespace) -> None:
+    """Route harness progress through ``logging`` (satisfying ``-v``).
+
+    Parallel workers log through the same module loggers; keeping output
+    on the logging machinery (instead of raw ``print``) stops interleaved
+    stdout from concurrent processes.
+    """
+    verbose = getattr(args, "verbose", 0)
+    if verbose >= 2:
+        level = logging.DEBUG
+    elif verbose >= 1 or getattr(args, "progress", False):
+        level = logging.INFO
+    else:
+        level = logging.WARNING
+    logging.basicConfig(level=level, format="%(message)s")
+
+
+def _emit_timing(runner: ExperimentRunner, args: argparse.Namespace) -> None:
+    """Print and/or dump the per-stage timing report when requested."""
+    if getattr(args, "timing", False):
+        print(runner.timing.format_report())
+    timing_json = getattr(args, "timing_json", None)
+    if timing_json:
+        payload = runner.timing.to_dict()
+        Path(timing_json).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"[timing report written to {timing_json}]")
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -60,13 +93,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
          "speedup"],
         rows,
     ))
+    _emit_timing(runner, args)
     return 0
 
 
 def _cmd_suite(args: argparse.Namespace) -> int:
-    runner = ExperimentRunner(workload_scale=args.scale)
+    runner = ExperimentRunner(workload_scale=args.scale, jobs=args.jobs)
     config = _config_of(args.config)
-    runs = runner.run_suite(config, progress=args.progress)
+    runs = runner.run_suite(config, quick=args.quick, progress=args.progress)
     rows = []
     for run in runs:
         rows.append([
@@ -82,11 +116,12 @@ def _cmd_suite(args: argparse.Namespace) -> int:
         rows,
         title=f"suite summary ({config.name})",
     ))
+    _emit_timing(runner, args)
     return 0
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
-    runner = ExperimentRunner(workload_scale=args.scale)
+    runner = ExperimentRunner(workload_scale=args.scale, jobs=args.jobs)
     name = args.name
     if name in ("fig3", "fig4"):
         method = "coasts" if name == "fig3" else "multilevel"
@@ -147,6 +182,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             ],
             title=f"fig1: granularity on {series.benchmark}",
         ))
+    _emit_timing(runner, args)
     return 0
 
 
@@ -159,23 +195,40 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--scale", type=float, default=1.0,
                         help="workload scale factor (default: 1.0)")
+    parser.add_argument("-v", "--verbose", action="count", default=0,
+                        help="progress at INFO (-v) or DEBUG (-vv) level")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    def add_scale(p: argparse.ArgumentParser) -> None:
+    def add_common(p: argparse.ArgumentParser) -> None:
         # accepted both before and after the subcommand
         p.add_argument("--scale", type=float, default=argparse.SUPPRESS,
                        help="workload scale factor (default: 1.0)")
+        p.add_argument("-v", "--verbose", action="count",
+                       default=argparse.SUPPRESS,
+                       help="progress at INFO (-v) or DEBUG (-vv) level")
+        p.add_argument("--timing", action="store_true",
+                       help="print the per-stage timing report")
+        p.add_argument("--timing-json", metavar="FILE", default=None,
+                       help="dump the timing report as JSON to FILE")
+
+    def add_jobs(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="worker processes for per-benchmark runs "
+                            "(0 = one per CPU; default: 1)")
 
     run = sub.add_parser("run", help="run one benchmark with all methods")
     run.add_argument("benchmark", choices=benchmark_names())
     run.add_argument("--config", choices=("a", "b"), default="a")
-    add_scale(run)
+    add_common(run)
     run.set_defaults(func=_cmd_run)
 
     suite = sub.add_parser("suite", help="whole-suite summary")
     suite.add_argument("--config", choices=("a", "b"), default="a")
     suite.add_argument("--progress", action="store_true")
-    add_scale(suite)
+    suite.add_argument("--quick", action="store_true",
+                       help="only the quick benchmark subset")
+    add_jobs(suite)
+    add_common(suite)
     suite.set_defaults(func=_cmd_suite)
 
     experiment = sub.add_parser(
@@ -185,7 +238,8 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--benchmark", default=None,
                             help="benchmark for fig1 (default lucas)")
     experiment.add_argument("--progress", action="store_true")
-    add_scale(experiment)
+    add_jobs(experiment)
+    add_common(experiment)
     experiment.set_defaults(func=_cmd_experiment)
     return parser
 
@@ -194,6 +248,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    _configure_logging(args)
     return args.func(args)
 
 

@@ -22,9 +22,8 @@ floats.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -62,6 +61,31 @@ class _BlockMemory:
     n_mem: int
     touches_per_rep: float
     load_fraction: float
+
+
+@dataclass
+class _SegmentStatics:
+    """Per-segment constants hoisted out of the piece-simulation loop.
+
+    Everything that does not depend on machine state is reduced to batch
+    quantities once per segment: instructions and steady-state cycles per
+    rep, and the aggregate expected-mispredict rate of the segment's
+    data-dependent branches (stationary rates touch no predictor state, so
+    their per-rep sum folds into one multiply per piece).  Only the
+    state-carrying accesses — instruction fetch, data hierarchy, the loop
+    back-edge counter — remain in the per-block loop, in the exact order
+    the scalar loop used, so machine-state evolution is unchanged.
+    """
+
+    rep_insts: int
+    rep_cycles: float
+    #: Per block, in execution order: (block_id, inst_lines, memory or None).
+    blocks: Tuple[Tuple[int, np.ndarray, Optional[_BlockMemory]], ...]
+    #: Data-dependent (non-loop) branches per rep and their rate sum.
+    plain_branches: int
+    plain_rate_sum: float
+    #: Block id of the loop back-edge branch, or -1.
+    loop_branch_block: int
 
 
 class MachineState:
@@ -143,6 +167,44 @@ class TimingSimulator:
                 else 0.0
             )
         self._code_lines = len(code_lines)
+        self._seg_statics: List[Optional[_SegmentStatics]] = \
+            [None] * trace.n_segments
+
+    def _statics_of(self, seg_index: int) -> _SegmentStatics:
+        """The (lazily built, memoised) statics of segment *seg_index*."""
+        statics = self._seg_statics[seg_index]
+        if statics is None:
+            seg = self.trace.segments[seg_index]
+            last_index = len(seg.blocks) - 1
+            plain_branches = 0
+            plain_rate_sum = 0.0
+            loop_branch_block = -1
+            rep_cycles = 0.0
+            blocks = []
+            for position, block_id in enumerate(seg.blocks):
+                rep_cycles += self.base_cycles[block_id]
+                blocks.append((
+                    block_id,
+                    self._inst_lines[block_id],
+                    self._block_memory[block_id],
+                ))
+                if not self._ends_in_branch[block_id]:
+                    continue
+                if seg.loop_id >= 0 and position == last_index:
+                    loop_branch_block = block_id
+                else:
+                    plain_branches += 1
+                    plain_rate_sum += self._data_branch_rate[block_id]
+            statics = _SegmentStatics(
+                rep_insts=int(self.trace.rep_lengths[seg_index]),
+                rep_cycles=rep_cycles,
+                blocks=tuple(blocks),
+                plain_branches=plain_branches,
+                plain_rate_sum=plain_rate_sum,
+                loop_branch_block=loop_branch_block,
+            )
+            self._seg_statics[seg_index] = statics
+        return statics
 
     # ------------------------------------------------------------------
     def new_state(self) -> MachineState:
@@ -200,23 +262,30 @@ class TimingSimulator:
     ) -> None:
         seg = piece.segment
         n = piece.n_reps
-        sizes = self.program.block_sizes
-        includes_end = piece.rep_offset + n == seg.reps
-        last_index = len(seg.blocks) - 1
+        statics = self._statics_of(piece.seg_index)
         data = state.data
+        il1 = state.il1
 
-        cycles = 0.0
-        for position, block_id in enumerate(seg.blocks):
-            size = int(sizes[block_id])
-            result.instructions += size * n
-            cycles += self.base_cycles[block_id] * n
+        # Batched stateless quantities: instruction count, steady-state
+        # cycles, expected mispredicts of data-dependent branches.
+        result.instructions += statics.rep_insts * n
+        cycles = statics.rep_cycles * n
+        if statics.plain_branches:
+            expected = n * statics.plain_rate_sum
+            result.branches += statics.plain_branches * n
+            result.mispredicts += expected
+            cycles += expected * self.branch_penalty
 
+        # State-carrying accesses stay in block order: instruction fetch
+        # and data touches of one block interleave exactly as the scalar
+        # loop interleaved them (they share the L2 occupancy ledger, whose
+        # recency ordering is order-sensitive).
+        for block_id, ilines, memory in statics.blocks:
             # --- instruction fetch ----------------------------------------
             # Each fetch line is touched through the real L1I once per
             # piece; the remaining n-1 rounds re-fetch the same lines
             # back-to-back and hit by construction.
-            ilines = self._inst_lines[block_id]
-            l1i_misses, miss_lines = state.il1.access_run(ilines)
+            l1i_misses, miss_lines = il1.access_run(ilines)
             result.l1i_accesses += len(ilines) * n
             result.l1i_misses += l1i_misses
             if l1i_misses:
@@ -229,7 +298,6 @@ class TimingSimulator:
                 )
 
             # --- data accesses ----------------------------------------------
-            memory = self._block_memory[block_id]
             if memory is not None:
                 touches = max(1.0, memory.touches_per_rep * n)
                 visit_touches = max(1.0, memory.touches_per_rep * seg.reps)
@@ -246,27 +314,22 @@ class TimingSimulator:
                     * memory.load_fraction / self.mlp
                 )
 
-            # --- branches -----------------------------------------------------
-            if not self._ends_in_branch[block_id]:
-                continue
-            is_loop_branch = seg.loop_id >= 0 and position == last_index
-            if is_loop_branch:
-                counter = state.loop_counters.get(block_id, 1)
-                takens = n - 1 if includes_end else n
-                counter, mis = advance_loop_branch(counter, takens)
-                mispredicts = float(mis)
-                if includes_end:
-                    counter, exit_mis = exit_loop_branch(counter)
-                    mispredicts += exit_mis
-                state.loop_counters[block_id] = counter
-                result.branches += n
-                result.mispredicts += mispredicts
-                cycles += mispredicts * self.branch_penalty
-            else:
-                rate = self._data_branch_rate[block_id]
-                result.branches += n
-                expected = n * rate
-                result.mispredicts += expected
-                cycles += expected * self.branch_penalty
+        # --- loop back-edge branch ---------------------------------------
+        # The 2-bit counter is private per-branch state: running it after
+        # the cache accesses cannot change any cache outcome.
+        if statics.loop_branch_block >= 0:
+            block_id = statics.loop_branch_block
+            includes_end = piece.rep_offset + n == seg.reps
+            counter = state.loop_counters.get(block_id, 1)
+            takens = n - 1 if includes_end else n
+            counter, mis = advance_loop_branch(counter, takens)
+            mispredicts = float(mis)
+            if includes_end:
+                counter, exit_mis = exit_loop_branch(counter)
+                mispredicts += exit_mis
+            state.loop_counters[block_id] = counter
+            result.branches += n
+            result.mispredicts += mispredicts
+            cycles += mispredicts * self.branch_penalty
 
         result.cycles += cycles

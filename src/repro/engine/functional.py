@@ -38,12 +38,22 @@ class FunctionalSimulator:
 
     # ------------------------------------------------------------------
     def run(self) -> FunctionalResult:
-        """Execute the whole trace, returning aggregate block counts."""
-        n_blocks = self.program.n_blocks
-        counts = np.zeros(n_blocks, dtype=np.int64)
-        for seg in self.trace.segments:
-            for block in seg.blocks:
-                counts[block] += seg.reps
+        """Execute the whole trace, returning aggregate block counts.
+
+        One weighted bincount over the trace's flat block array replaces
+        the per-segment/per-block Python loop; float64 holds the integer
+        rep counts exactly (they are far below 2**53).
+        """
+        trace = self.trace
+        reps = np.fromiter(
+            (s.reps for s in trace.segments), dtype=np.int64,
+            count=trace.n_segments,
+        )
+        counts = np.bincount(
+            trace.flat_blocks,
+            weights=np.repeat(reps, trace.blocks_per_segment).astype(np.float64),
+            minlength=self.program.n_blocks,
+        ).astype(np.int64)
         instructions = counts * self.program.block_sizes
         return FunctionalResult(
             total_instructions=int(instructions.sum()),
@@ -74,29 +84,7 @@ class FunctionalSimulator:
         total = end - start
         n_intervals = math.ceil(total / interval_size)
         n_blocks = self.program.n_blocks
-        bbv = np.zeros((n_intervals, n_blocks), dtype=np.float64)
-        sizes = self.program.block_sizes
-
-        for seg_start, seg_end, seg, rep_len in self._segments_in(start, end):
-            block_ids = np.fromiter(seg.blocks, dtype=np.int64,
-                                    count=len(seg.blocks))
-            composition = sizes[block_ids] / float(rep_len)
-            seg_insts = seg_end - seg_start
-            first = (seg_start - start) // interval_size
-            last = (seg_end - 1 - start) // interval_size
-            if first == last:
-                bbv[first, block_ids] += seg_insts * composition
-                continue
-            # Overlap of the segment with each interval it spans.
-            boundaries = (
-                np.arange(first, last + 2, dtype=np.int64) * interval_size + start
-            )
-            boundaries[0] = seg_start
-            boundaries[-1] = seg_end
-            overlaps = np.diff(boundaries).astype(np.float64)
-            bbv[first:last + 1][:, block_ids] += (
-                overlaps[:, None] * composition[None, :]
-            )
+        bbv = self._accumulate_bbv(start, end, interval_size, n_intervals)
 
         starts = np.arange(n_intervals, dtype=np.int64) * interval_size + start
         instructions = np.full(n_intervals, interval_size, dtype=np.int64)
@@ -108,31 +96,57 @@ class FunctionalSimulator:
             bbv=bbv,
         )
 
-    def _segments_in(self, start: int, end: int):
-        """Yield ``(clipped_start, clipped_end, segment, rep_len)`` for every
-        segment overlapping [start, end), clipped to the range."""
+    def _accumulate_bbv(
+        self, start: int, end: int, interval_size: int, n_intervals: int
+    ) -> np.ndarray:
+        """Instruction-weighted BBV accumulation over [start, end).
+
+        Fully vectorized: every (segment, interval, block) contribution
+        becomes one entry of a weighted :func:`np.bincount` over flattened
+        (interval, block) cell ids.  Entries are laid out in segment order
+        and each cell receives at most one entry per segment, so every BBV
+        cell accumulates its additions in exactly the order the scalar
+        per-segment loop used — the result is bit-identical.
+        """
         trace = self.trace
-        if start == 0 and end == trace.total_instructions:
-            for index, seg in enumerate(trace.segments):
-                yield (
-                    int(trace.seg_starts[index]),
-                    int(trace.seg_starts[index + 1]),
-                    seg,
-                    int(trace.rep_lengths[index]),
-                )
-            return
-        first = trace.locate(start)
-        for index in range(first, trace.n_segments):
-            seg_start = int(trace.seg_starts[index])
-            if seg_start >= end:
-                break
-            seg_end = int(trace.seg_starts[index + 1])
-            yield (
-                max(seg_start, start),
-                min(seg_end, end),
-                trace.segments[index],
-                int(trace.rep_lengths[index]),
-            )
+        n_blocks = self.program.n_blocks
+        lo_index = 0 if start == 0 else trace.locate(start)
+        hi_index = trace.locate(end - 1) + 1
+
+        # Clipped [seg_lo, seg_hi) instruction bounds per overlapping segment.
+        seg_lo = np.maximum(trace.seg_starts[lo_index:hi_index], start)
+        seg_hi = np.minimum(trace.seg_starts[lo_index + 1:hi_index + 1], end)
+        first = (seg_lo - start) // interval_size
+        last = (seg_hi - 1 - start) // interval_size
+        spans = last - first + 1
+
+        # One row per (segment, overlapped interval), in segment order.
+        n_rows = int(spans.sum())
+        row_seg = np.repeat(np.arange(hi_index - lo_index), spans)
+        row_offsets = np.cumsum(spans) - spans
+        intra = np.arange(n_rows, dtype=np.int64) - np.repeat(row_offsets, spans)
+        row_iv = first[row_seg] + intra
+        piece_lo = np.maximum(seg_lo[row_seg], start + row_iv * interval_size)
+        piece_hi = np.minimum(
+            seg_hi[row_seg], start + (row_iv + 1) * interval_size
+        )
+        overlaps = (piece_hi - piece_lo).astype(np.float64)
+
+        # Expand rows to (row, block) entries via the trace's flat arrays.
+        n_per_row = trace.blocks_per_segment[lo_index + row_seg]
+        n_entries = int(n_per_row.sum())
+        ent_row = np.repeat(np.arange(n_rows, dtype=np.int64), n_per_row)
+        ent_offsets = np.cumsum(n_per_row) - n_per_row
+        ent_intra = (
+            np.arange(n_entries, dtype=np.int64)
+            - np.repeat(ent_offsets, n_per_row)
+        )
+        flat_index = trace.flat_offsets[lo_index + row_seg[ent_row]] + ent_intra
+        weights = overlaps[ent_row] * trace.flat_composition[flat_index]
+        cells = row_iv[ent_row] * n_blocks + trace.flat_blocks[flat_index]
+        return np.bincount(
+            cells, weights=weights, minlength=n_intervals * n_blocks
+        ).reshape(n_intervals, n_blocks)
 
     # ------------------------------------------------------------------
     def profile_coarse_intervals(
@@ -157,7 +171,6 @@ class FunctionalSimulator:
         n_blocks = self.program.n_blocks
         bbv = np.zeros((n_instances, n_blocks), dtype=np.float64)
         seg_bbv = np.zeros((n_instances, n_segments, n_blocks), dtype=np.float64)
-        sizes = self.program.block_sizes
 
         for i in range(n_instances):
             start, end = int(bounds[i, 0]), int(bounds[i, 1])
@@ -166,11 +179,12 @@ class FunctionalSimulator:
             length = end - start
             chunk = length / n_segments
             for piece in trace.clip(start, end):
-                seg = piece.segment
-                block_ids = np.fromiter(seg.blocks, dtype=np.int64,
-                                        count=len(seg.blocks))
-                rep_len = int(sizes[block_ids].sum())
-                composition = sizes[block_ids] / float(rep_len)
+                # Precomputed flat slices replace per-piece np.fromiter.
+                lo = int(trace.flat_offsets[piece.seg_index])
+                hi = int(trace.flat_offsets[piece.seg_index + 1])
+                block_ids = trace.flat_blocks[lo:hi]
+                rep_len = int(trace.rep_lengths[piece.seg_index])
+                composition = trace.flat_composition[lo:hi]
                 p_start = max(piece.start_inst, start)
                 p_end = min(piece.start_inst + piece.n_reps * rep_len, end)
                 if p_end <= p_start:

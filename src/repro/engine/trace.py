@@ -14,6 +14,7 @@ when they mix `sim-fast` and `sim-outorder` runs of one binary.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Iterator, List, Tuple
 
 import numpy as np
@@ -51,12 +52,17 @@ class Segment:
 
 @dataclass(frozen=True)
 class SegmentPiece:
-    """A whole-rep sub-range of one segment, produced by :meth:`Trace.clip`."""
+    """A whole-rep sub-range of one segment, produced by :meth:`Trace.clip`.
+
+    ``seg_index`` is the segment's index in its trace (-1 when unknown);
+    consumers use it to look up precomputed per-segment data.
+    """
 
     segment: Segment
     rep_offset: int
     n_reps: int
     start_inst: int
+    seg_index: int = -1
 
     def __post_init__(self) -> None:
         if self.n_reps < 1 or self.rep_offset < 0:
@@ -102,6 +108,46 @@ class Trace:
                 outer_starts[i] = outer_starts[i + 1]
         self.outer_starts = outer_starts
         self.prologue_end = int(outer_starts[0])
+
+    # ------------------------------------------------------------------
+    # Flat per-segment arrays: the vectorized profilers and the timing
+    # simulator's per-segment statics index these instead of re-walking
+    # each segment's block tuple.  ``flat_blocks[flat_offsets[i]:
+    # flat_offsets[i+1]]`` are segment i's block ids in execution order.
+    @cached_property
+    def blocks_per_segment(self) -> np.ndarray:
+        """Number of blocks per rep of each segment."""
+        return np.fromiter(
+            (len(s.blocks) for s in self.segments),
+            dtype=np.int64, count=self.n_segments,
+        )
+
+    @cached_property
+    def flat_offsets(self) -> np.ndarray:
+        """Start of each segment's slice in :attr:`flat_blocks`."""
+        return np.concatenate(
+            ([0], np.cumsum(self.blocks_per_segment))
+        ).astype(np.int64)
+
+    @cached_property
+    def flat_blocks(self) -> np.ndarray:
+        """All segments' block ids, concatenated in segment order."""
+        total = int(self.flat_offsets[-1])
+        flat = np.empty(total, dtype=np.int64)
+        offset = 0
+        for seg in self.segments:
+            flat[offset:offset + len(seg.blocks)] = seg.blocks
+            offset += len(seg.blocks)
+        return flat
+
+    @cached_property
+    def flat_composition(self) -> np.ndarray:
+        """Per flat entry: the block's share of its segment's rep length."""
+        sizes = self.program.block_sizes[self.flat_blocks].astype(np.float64)
+        rep_lens = np.repeat(
+            self.rep_lengths.astype(np.float64), self.blocks_per_segment
+        )
+        return sizes / rep_lens
 
     # ------------------------------------------------------------------
     @property
@@ -158,6 +204,7 @@ class Trace:
                 rep_offset=int(first_rep),
                 n_reps=int(last_rep - first_rep),
                 start_inst=int(seg_start + first_rep * rep_len),
+                seg_index=index,
             )
             index += 1
 

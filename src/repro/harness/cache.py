@@ -4,6 +4,12 @@ Whole-program detailed baselines take seconds-to-minutes per benchmark and
 config; the cache stores their JSON-serialised results keyed by a content
 key that includes a schema version, so stale entries are ignored after
 incompatible changes.
+
+The cache is safe under concurrent writers (the parallel suite runner fans
+worker processes out over one shared cache directory): writes go to a
+uniquely named temporary file in the cache directory and are published with
+an atomic :func:`os.replace`, and readers tolerate corrupt or partially
+written entries by treating them as misses.
 """
 
 from __future__ import annotations
@@ -11,6 +17,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import tempfile
 from pathlib import Path
 from typing import Any, Optional
 
@@ -30,11 +37,18 @@ def default_cache_dir() -> Path:
 
 
 class ResultCache:
-    """A trivially simple key -> JSON file cache."""
+    """A trivially simple key -> JSON file cache.
+
+    ``hits`` / ``misses`` count :meth:`get` outcomes on this instance (the
+    timing report surfaces them); they are per-process statistics, not
+    shared state.
+    """
 
     def __init__(self, directory: Optional[Path] = None, enabled: bool = True) -> None:
         self.directory = Path(directory) if directory else default_cache_dir()
         self.enabled = enabled
+        self.hits = 0
+        self.misses = 0
 
     def _path(self, key: str) -> Path:
         digest = hashlib.sha256(
@@ -47,34 +61,61 @@ class ResultCache:
         if not self.enabled:
             return None
         path = self._path(key)
-        if not path.exists():
-            return None
         try:
             with open(path) as handle:
                 wrapper = json.load(handle)
-        except (OSError, json.JSONDecodeError):
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            # Missing, unreadable, or partially written by a crashed
+            # writer: all count as misses.
+            self.misses += 1
             return None
-        if wrapper.get("key") != key:
+        if not isinstance(wrapper, dict) or wrapper.get("key") != key:
+            self.misses += 1
             return None
+        self.hits += 1
         return wrapper.get("payload")
 
     def put(self, key: str, payload: Any) -> None:
-        """Store *payload* (must be JSON-serialisable) under *key*."""
+        """Store *payload* (must be JSON-serialisable) under *key*.
+
+        Concurrent writers never clobber each other mid-write: each write
+        goes to its own ``mkstemp`` file (unique per process and call)
+        before the atomic rename.  Losing a same-key race is harmless —
+        both writers publish identical payloads.
+        """
         if not self.enabled:
             return
         self.directory.mkdir(parents=True, exist_ok=True)
         path = self._path(key)
-        tmp = path.with_suffix(".tmp")
-        with open(tmp, "w") as handle:
-            json.dump({"key": key, "payload": payload}, handle)
-        os.replace(tmp, path)
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=path.stem + ".", suffix=".tmp", dir=self.directory
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump({"key": key, "payload": payload}, handle)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
 
     def clear(self) -> int:
-        """Delete all cache files; returns how many were removed."""
+        """Delete all cache files (including stranded ``*.tmp`` files left
+        by crashed writers); returns how many entries were removed."""
         if not self.directory.exists():
             return 0
         removed = 0
         for path in self.directory.glob("*.json"):
-            path.unlink()
-            removed += 1
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        for path in self.directory.glob("*.tmp"):
+            try:
+                path.unlink()
+            except OSError:
+                pass
         return removed

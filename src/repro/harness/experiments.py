@@ -7,6 +7,7 @@ call these and print the regenerated table or figure series.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field, replace
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -25,6 +26,8 @@ from ..sampling.simpoint import SimPoint
 from ..workloads.registry import benchmark_names
 from .runner import BenchmarkRun, ExperimentRunner
 from .tables import arithmetic_mean, geomean
+
+logger = logging.getLogger(__name__)
 
 # ----------------------------------------------------------------------
 # Figures 3 and 4: speedup over SimPoint
@@ -51,9 +54,10 @@ def speedup_experiment(
     config: MachineConfig = CONFIG_A,
     names: Optional[Iterable[str]] = None,
     progress: bool = False,
+    jobs: Optional[int] = None,
 ) -> SpeedupSeries:
     """Figure 3 (method='coasts') / Figure 4 (method='multilevel')."""
-    runs = runner.run_suite(config, names=names, progress=progress)
+    runs = runner.run_suite(config, names=names, progress=progress, jobs=jobs)
     return SpeedupSeries(
         method=method,
         over=over,
@@ -103,11 +107,13 @@ def accuracy_experiment(
     methods: Sequence[str] = ("coasts", "simpoint", "multilevel"),
     names: Optional[Iterable[str]] = None,
     progress: bool = False,
+    jobs: Optional[int] = None,
 ) -> AccuracyTable:
     """Table II: CPI / L1 / L2 deviations per method under both configs."""
     cells: Dict[Tuple[str, str, str], DeviationCell] = {}
     for config in configs:
-        runs = runner.run_suite(config, names=names, progress=progress)
+        runs = runner.run_suite(config, names=names, progress=progress,
+                                jobs=jobs)
         for metric in ("cpi", "l1_hit_rate", "l2_hit_rate"):
             for method in methods:
                 deviations = {
@@ -147,10 +153,11 @@ def statistics_experiment(
     methods: Sequence[str] = ("coasts", "simpoint", "multilevel"),
     names: Optional[Iterable[str]] = None,
     progress: bool = False,
+    jobs: Optional[int] = None,
 ) -> List[StatisticsRow]:
     """Table III: geometric means of interval size, sample count and the
     detail / functional instruction fractions."""
-    runs = runner.run_suite(config, names=names, progress=progress)
+    runs = runner.run_suite(config, names=names, progress=progress, jobs=jobs)
     rows: List[StatisticsRow] = []
     for method in methods:
         stats = [run.methods[method].stats for run in runs]
@@ -208,7 +215,7 @@ def motivation_experiment(
     rows: List[MotivationRow] = []
     for name in list(names) if names is not None else benchmark_names():
         if progress:
-            print(f"[motivation] {name} ...", flush=True)
+            logger.info("[motivation] %s ...", name)
         trace = runner.trace(name)
         plan = Coasts(sampling).sample(trace, benchmark=name)
         rows.append(

@@ -1,0 +1,133 @@
+"""Process-parallel execution of per-benchmark pipeline runs.
+
+The full evaluation is embarrassingly parallel: every (benchmark, config)
+pipeline is deterministic and self-contained (DESIGN.md decision 1 — the
+trace is rebuilt bit-identically from the benchmark spec's seed), so runs
+fan out over a :class:`~concurrent.futures.ProcessPoolExecutor` with no
+shared state beyond the disk cache, which is safe under concurrent writers
+(unique temp names + atomic rename, see :mod:`repro.harness.cache`).
+
+Nothing non-picklable crosses the process boundary: workers receive the
+frozen config dataclasses plus the cache directory, rebuild traces
+locally, and return ``BenchmarkRun.to_dict()`` payloads together with
+their serialised timing records.  The parent rebuilds the runs, merges the
+timing reports, and returns results in task order — byte-identical to the
+serial path.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from pathlib import Path
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+
+from ..config import MachineConfig
+from ..errors import HarnessError
+from .cache import ResultCache
+from .timing import SuiteTiming
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .runner import BenchmarkRun, ExperimentRunner
+
+logger = logging.getLogger(__name__)
+
+#: One suite task: a benchmark name under a machine configuration.
+Task = Tuple[str, MachineConfig]
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalise a job count: ``None``/``0`` means one worker per CPU."""
+    if jobs is None or jobs == 0:
+        return os.cpu_count() or 1
+    if jobs < 0:
+        raise HarnessError(f"jobs must be >= 0, got {jobs}")
+    return jobs
+
+
+def _worker_run(payload: dict) -> Tuple[dict, dict]:
+    """Execute one pipeline run inside a worker process.
+
+    Rebuilds a local :class:`ExperimentRunner` (workers share only the
+    on-disk cache), runs the benchmark, and returns serialised results —
+    the ``BenchmarkRun`` payload and the worker's timing records.
+    """
+    from .runner import ExperimentRunner
+
+    runner = ExperimentRunner(
+        sampling=payload["sampling"],
+        cost_model=payload["cost_model"],
+        cache=ResultCache(
+            directory=payload["cache_dir"], enabled=payload["cache_enabled"]
+        ),
+        workload_scale=payload["workload_scale"],
+        methods=payload["methods"],
+    )
+    run = runner.run_benchmark(payload["benchmark"], payload["config"])
+    return run.to_dict(), runner.timing.to_dict()
+
+
+def run_tasks_parallel(
+    runner: "ExperimentRunner",
+    tasks: Sequence[Task],
+    jobs: Optional[int] = None,
+    progress: bool = False,
+) -> List["BenchmarkRun"]:
+    """Run *tasks* with *runner*'s configuration across worker processes.
+
+    Results come back in task order.  Worker timing records are merged
+    into ``runner.timing``, so the suite report covers every stage of
+    every worker.  With one effective worker (or one task) this falls back
+    to the serial path — same results, no process overhead.
+    """
+    from .runner import BenchmarkRun
+
+    jobs = resolve_jobs(jobs)
+    runner.timing.jobs = max(runner.timing.jobs, jobs)
+    if jobs <= 1 or len(tasks) <= 1:
+        runs = []
+        for benchmark, config in tasks:
+            if progress:
+                logger.info("[%s] %s ...", config.name, benchmark)
+            runs.append(runner.run_benchmark(benchmark, config))
+        return runs
+
+    payloads = [
+        {
+            "benchmark": benchmark,
+            "config": config,
+            "sampling": runner.sampling,
+            "cost_model": runner.cost_model,
+            "workload_scale": runner.workload_scale,
+            "methods": runner.methods,
+            "cache_dir": Path(runner.cache.directory),
+            "cache_enabled": runner.cache.enabled,
+        }
+        for benchmark, config in tasks
+    ]
+    results: List[Optional[BenchmarkRun]] = [None] * len(tasks)
+    workers = min(jobs, len(tasks))
+    logger.info("fanning %d runs out over %d workers", len(tasks), workers)
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        pending = {
+            pool.submit(_worker_run, payload): index
+            for index, payload in enumerate(payloads)
+        }
+        while pending:
+            done, _ = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                index = pending.pop(future)
+                benchmark, config = tasks[index]
+                try:
+                    run_payload, timing_payload = future.result()
+                except Exception as error:
+                    raise HarnessError(
+                        f"worker failed on {benchmark} ({config.name}): "
+                        f"{error}"
+                    ) from error
+                results[index] = BenchmarkRun.from_dict(run_payload)
+                runner.timing.merge(SuiteTiming.from_dict(timing_payload))
+                if progress:
+                    logger.info("[%s] %s done", config.name, benchmark)
+    return [run for run in results if run is not None]

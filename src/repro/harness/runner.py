@@ -18,6 +18,8 @@ so they are memoised in-process and reused across configurations.
 
 from __future__ import annotations
 
+import logging
+import time
 from dataclasses import asdict, dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
@@ -43,6 +45,9 @@ from ..sampling.points import SamplingPlan
 from ..sampling.simpoint import SimPoint
 from ..workloads.registry import benchmark_names, load_workload
 from .cache import ResultCache
+from .timing import RunTiming, SuiteTiming
+
+logger = logging.getLogger(__name__)
 
 #: Methods the runner evaluates, in reporting order.
 ALL_METHODS: Tuple[str, ...] = ("simpoint", "early_sp", "coasts", "multilevel")
@@ -178,6 +183,7 @@ class ExperimentRunner:
         cache: Optional[ResultCache] = None,
         workload_scale: float = 1.0,
         methods: Iterable[str] = ALL_METHODS,
+        jobs: int = 1,
     ) -> None:
         self.sampling = sampling
         self.cost_model = cost_model
@@ -187,6 +193,13 @@ class ExperimentRunner:
         unknown = set(self.methods) - set(ALL_METHODS)
         if unknown:
             raise HarnessError(f"unknown methods: {sorted(unknown)}")
+        if jobs < 0:
+            raise HarnessError(f"jobs must be >= 0, got {jobs}")
+        #: Default worker count for :meth:`run_suite` (overridable per
+        #: call; 0 means one worker per CPU).
+        self.jobs = jobs
+        #: Per-stage wall-clock records of every pipeline run.
+        self.timing = SuiteTiming()
         self._traces: Dict[str, Trace] = {}
         self._plans: Dict[str, Dict[str, SamplingPlan]] = {}
 
@@ -198,8 +211,14 @@ class ExperimentRunner:
             self._traces[benchmark] = build_trace(workload)
         return self._traces[benchmark]
 
-    def plans(self, benchmark: str) -> Dict[str, SamplingPlan]:
-        """All requested sampling plans for *benchmark* (memoised)."""
+    def plans(
+        self, benchmark: str, _record: Optional[RunTiming] = None
+    ) -> Dict[str, SamplingPlan]:
+        """All requested sampling plans for *benchmark* (memoised).
+
+        ``_record`` lets :meth:`run_benchmark` attribute the profiling and
+        plan-construction stages; external callers omit it.
+        """
         if benchmark in self._plans:
             return self._plans[benchmark]
         trace = self.trace(benchmark)
@@ -207,26 +226,32 @@ class ExperimentRunner:
         plans: Dict[str, SamplingPlan] = {}
         fine_profile = None
         if {"simpoint", "early_sp"} & set(self.methods):
-            fine_profile = functional.profile_fixed_intervals(
-                self.sampling.fine_interval_size
-            )
-        if "simpoint" in self.methods:
-            plans["simpoint"] = SimPoint(self.sampling).sample(
-                fine_profile, benchmark=benchmark
-            )
-        if "early_sp" in self.methods:
-            plans["early_sp"] = EarlySimPoint(self.sampling).sample(
-                fine_profile, benchmark=benchmark
-            )
-        coarse_plan = None
-        if {"coasts", "multilevel"} & set(self.methods):
-            coarse_plan = Coasts(self.sampling).sample(trace, benchmark=benchmark)
-        if "coasts" in self.methods:
-            plans["coasts"] = coarse_plan
-        if "multilevel" in self.methods:
-            plans["multilevel"] = MultiLevelSampler(self.sampling).sample(
-                trace, benchmark=benchmark, coarse_plan=coarse_plan
-            )
+            with self.timing.stage(_record, "profiling"):
+                fine_profile = functional.profile_fixed_intervals(
+                    self.sampling.fine_interval_size
+                )
+        # The coarse samplers profile internally; their time lands in
+        # plan_construction (the fine BBV pass dominates profiling cost).
+        with self.timing.stage(_record, "plan_construction"):
+            if "simpoint" in self.methods:
+                plans["simpoint"] = SimPoint(self.sampling).sample(
+                    fine_profile, benchmark=benchmark
+                )
+            if "early_sp" in self.methods:
+                plans["early_sp"] = EarlySimPoint(self.sampling).sample(
+                    fine_profile, benchmark=benchmark
+                )
+            coarse_plan = None
+            if {"coasts", "multilevel"} & set(self.methods):
+                coarse_plan = Coasts(self.sampling).sample(
+                    trace, benchmark=benchmark
+                )
+            if "coasts" in self.methods:
+                plans["coasts"] = coarse_plan
+            if "multilevel" in self.methods:
+                plans["multilevel"] = MultiLevelSampler(self.sampling).sample(
+                    trace, benchmark=benchmark, coarse_plan=coarse_plan
+                )
         self._plans[benchmark] = plans
         return plans
 
@@ -246,36 +271,44 @@ class ExperimentRunner:
         self, benchmark: str, config: MachineConfig = CONFIG_A
     ) -> BenchmarkRun:
         """Full pipeline for one benchmark and config (disk-cached)."""
+        record = self.timing.start_run(benchmark, config.name)
+        began = time.perf_counter()
         key = self._cache_key(benchmark, config)
         cached = self.cache.get(key)
         if cached is not None:
+            record.cache_hit = True
+            record.total_seconds = time.perf_counter() - began
+            logger.debug("[%s] %s: cache hit", config.name, benchmark)
             return BenchmarkRun.from_dict(cached)
 
-        trace = self.trace(benchmark)
-        plans = self.plans(benchmark)
-        simulator = TimingSimulator(trace, config)
-        baseline = simulator.simulate_full().metrics()
+        with self.timing.stage(record, "trace_build"):
+            trace = self.trace(benchmark)
+        plans = self.plans(benchmark, record)
+        with self.timing.stage(record, "baseline"):
+            simulator = TimingSimulator(trace, config)
+            baseline = simulator.simulate_full().metrics()
 
-        if self.sampling.full_warming:
-            union = sorted(
-                {r for plan in plans.values() for r in plan_ranges(plan)}
-            )
-            leaf_cache: Dict[Tuple[int, int], SimulationResult] = \
-                simulate_point_set(simulator, union)
-        else:
-            leaf_cache = {}
-        methods: Dict[str, MethodResult] = {}
-        for name in self.methods:
-            plan = plans[name]
-            evaluation = evaluate_plan(
-                plan, simulator, baseline, config=self.sampling,
-                cache=leaf_cache,
-            )
-            methods[name] = MethodResult(
-                stats=PlanStats.from_plan(plan),
-                estimate=evaluation.estimate,
-                deviation=evaluation.deviation,
-            )
+        with self.timing.stage(record, "point_simulation"):
+            if self.sampling.full_warming:
+                union = sorted(
+                    {r for plan in plans.values() for r in plan_ranges(plan)}
+                )
+                leaf_cache: Dict[Tuple[int, int], SimulationResult] = \
+                    simulate_point_set(simulator, union)
+            else:
+                leaf_cache = {}
+            methods: Dict[str, MethodResult] = {}
+            for name in self.methods:
+                plan = plans[name]
+                evaluation = evaluate_plan(
+                    plan, simulator, baseline, config=self.sampling,
+                    cache=leaf_cache,
+                )
+                methods[name] = MethodResult(
+                    stats=PlanStats.from_plan(plan),
+                    estimate=evaluation.estimate,
+                    deviation=evaluation.deviation,
+                )
 
         run = BenchmarkRun(
             benchmark=benchmark,
@@ -285,6 +318,7 @@ class ExperimentRunner:
             methods=methods,
         )
         self.cache.put(key, run.to_dict())
+        record.total_seconds = time.perf_counter() - began
         return run
 
     def run_suite(
@@ -293,14 +327,34 @@ class ExperimentRunner:
         names: Optional[Iterable[str]] = None,
         quick: bool = False,
         progress: bool = False,
+        jobs: Optional[int] = None,
     ) -> List[BenchmarkRun]:
-        """Run every benchmark (or *names*) under *config*."""
+        """Run every benchmark (or *names*) under *config*.
+
+        With ``jobs > 1`` the per-benchmark pipelines fan out over worker
+        processes (see :mod:`repro.harness.parallel`); results are
+        identical to the serial path and arrive in suite order.  ``jobs``
+        defaults to the runner's construction-time value; ``jobs=0`` means
+        one worker per CPU.  *progress* logs per-benchmark lines at INFO
+        level (see the CLI's ``-v``).
+        """
         chosen = list(names) if names is not None else benchmark_names(quick=quick)
-        runs = []
-        for name in chosen:
-            if progress:
-                print(f"[{config.name}] {name} ...", flush=True)
-            runs.append(self.run_benchmark(name, config))
+        jobs = self.jobs if jobs is None else jobs
+        began = time.perf_counter()
+        if jobs != 1 and len(chosen) > 1:
+            from .parallel import resolve_jobs, run_tasks_parallel
+
+            runs = run_tasks_parallel(
+                self, [(name, config) for name in chosen],
+                jobs=resolve_jobs(jobs), progress=progress,
+            )
+        else:
+            runs = []
+            for name in chosen:
+                if progress:
+                    logger.info("[%s] %s ...", config.name, name)
+                runs.append(self.run_benchmark(name, config))
+        self.timing.wall_seconds += time.perf_counter() - began
         return runs
 
 

@@ -1,0 +1,162 @@
+"""Per-stage wall-clock instrumentation for the experiment harness.
+
+Every :meth:`ExperimentRunner.run_benchmark` call records how long each
+pipeline stage took — trace build, BBV profiling, plan construction, the
+detailed baseline, and point simulation — plus whether the run was served
+from the disk cache.  The suite-level report aggregates those records so
+speedups (serial vs ``--jobs N``, scalar vs vectorized hot paths) are
+measured rather than asserted.
+
+The report is plain data: ``to_dict()`` is JSON-ready for ``--timing-json``
+and ``format_report()`` renders the CLI table.  Records survive the process
+boundary — parallel workers serialise their reports and the parent merges
+them — so ``suite --jobs N`` accounts for every stage of every worker.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+#: Stage names in pipeline order (reports render in this order; stages a
+#: run never entered are simply absent).
+STAGE_ORDER = (
+    "trace_build",
+    "profiling",
+    "plan_construction",
+    "baseline",
+    "point_simulation",
+)
+
+
+@dataclass
+class RunTiming:
+    """Stage wall times and cache outcome of one (benchmark, config) run."""
+
+    benchmark: str
+    config_name: str
+    stages: Dict[str, float] = field(default_factory=dict)
+    cache_hit: bool = False
+    total_seconds: float = 0.0
+
+    def add_stage(self, name: str, seconds: float) -> None:
+        """Accumulate *seconds* into stage *name* (stages may re-enter)."""
+        self.stages[name] = self.stages.get(name, 0.0) + seconds
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form."""
+        return {
+            "benchmark": self.benchmark,
+            "config_name": self.config_name,
+            "stages": dict(self.stages),
+            "cache_hit": self.cache_hit,
+            "total_seconds": self.total_seconds,
+        }
+
+    @staticmethod
+    def from_dict(payload: dict) -> "RunTiming":
+        """Rebuild from :meth:`to_dict` output (worker -> parent)."""
+        return RunTiming(
+            benchmark=payload["benchmark"],
+            config_name=payload["config_name"],
+            stages=dict(payload["stages"]),
+            cache_hit=payload["cache_hit"],
+            total_seconds=payload["total_seconds"],
+        )
+
+
+class SuiteTiming:
+    """Collector of per-run timings plus suite-level wall clock.
+
+    One instance lives on each :class:`ExperimentRunner`; the parallel
+    driver merges the workers' collectors into the parent's.
+    """
+
+    def __init__(self) -> None:
+        self.runs: List[RunTiming] = []
+        self.wall_seconds: float = 0.0
+        self.jobs: int = 1
+
+    # ------------------------------------------------------------------
+    def start_run(self, benchmark: str, config_name: str) -> RunTiming:
+        """Open (and register) the record of one pipeline run."""
+        record = RunTiming(benchmark=benchmark, config_name=config_name)
+        self.runs.append(record)
+        return record
+
+    @contextmanager
+    def stage(self, record: Optional[RunTiming], name: str) -> Iterator[None]:
+        """Time one stage of *record* (no-op when *record* is None)."""
+        if record is None:
+            yield
+            return
+        began = time.perf_counter()
+        try:
+            yield
+        finally:
+            record.add_stage(name, time.perf_counter() - began)
+
+    def merge(self, other: "SuiteTiming") -> None:
+        """Fold another collector's records into this one."""
+        self.runs.extend(other.runs)
+
+    # ------------------------------------------------------------------
+    @property
+    def cache_hits(self) -> int:
+        """Runs served entirely from the disk cache."""
+        return sum(1 for r in self.runs if r.cache_hit)
+
+    @property
+    def cache_misses(self) -> int:
+        """Runs that executed the pipeline."""
+        return sum(1 for r in self.runs if not r.cache_hit)
+
+    def stage_totals(self) -> Dict[str, float]:
+        """Aggregate seconds per stage across all recorded runs."""
+        totals: Dict[str, float] = {}
+        for record in self.runs:
+            for name, seconds in record.stages.items():
+                totals[name] = totals.get(name, 0.0) + seconds
+        return totals
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable report (the ``--timing-json`` payload)."""
+        return {
+            "jobs": self.jobs,
+            "wall_seconds": self.wall_seconds,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "stage_totals": self.stage_totals(),
+            "runs": [record.to_dict() for record in self.runs],
+        }
+
+    @staticmethod
+    def from_dict(payload: dict) -> "SuiteTiming":
+        """Rebuild a collector from :meth:`to_dict` output."""
+        timing = SuiteTiming()
+        timing.jobs = payload.get("jobs", 1)
+        timing.wall_seconds = payload.get("wall_seconds", 0.0)
+        timing.runs = [RunTiming.from_dict(r) for r in payload.get("runs", [])]
+        return timing
+
+    # ------------------------------------------------------------------
+    def format_report(self) -> str:
+        """Human-readable per-stage breakdown (the ``--timing`` output)."""
+        totals = self.stage_totals()
+        ordered = [s for s in STAGE_ORDER if s in totals]
+        ordered += sorted(set(totals) - set(STAGE_ORDER))
+        busy = sum(totals.values())
+        lines = [
+            f"timing: {len(self.runs)} runs, jobs={self.jobs}, "
+            f"wall {self.wall_seconds:.2f}s, "
+            f"cache {self.cache_hits} hit / {self.cache_misses} miss"
+        ]
+        width = max((len(s) for s in ordered), default=5)
+        for stage in ordered:
+            seconds = totals[stage]
+            share = 100.0 * seconds / busy if busy else 0.0
+            lines.append(f"  {stage:<{width}}  {seconds:8.3f}s  {share:5.1f}%")
+        lines.append(f"  {'(stage total)':<{width}}  {busy:8.3f}s")
+        return "\n".join(lines)

@@ -29,6 +29,35 @@ class TestParser:
         args = build_parser().parse_args(["--scale", "0.1", "run", "mcf"])
         assert args.scale == 0.1
 
+    def test_suite_jobs_and_quick(self):
+        args = build_parser().parse_args(
+            ["suite", "--quick", "--jobs", "4"]
+        )
+        assert args.jobs == 4
+        assert args.quick
+        args = build_parser().parse_args(["suite"])
+        assert args.jobs == 1 and not args.quick
+
+    def test_experiment_jobs_zero_means_auto(self):
+        args = build_parser().parse_args(
+            ["experiment", "fig3", "--jobs", "0"]
+        )
+        assert args.jobs == 0
+
+    def test_verbose_counts(self):
+        assert build_parser().parse_args(["run", "gzip"]).verbose == 0
+        assert build_parser().parse_args(["-v", "run", "gzip"]).verbose == 1
+        assert build_parser().parse_args(
+            ["suite", "-vv"]
+        ).verbose == 2
+
+    def test_timing_flags(self):
+        args = build_parser().parse_args(
+            ["suite", "--timing", "--timing-json", "t.json"]
+        )
+        assert args.timing
+        assert args.timing_json == "t.json"
+
 
 class TestExecution:
     def test_run_small_benchmark(self, capsys, tmp_path, monkeypatch):
@@ -38,6 +67,17 @@ class TestExecution:
         assert code == 0
         assert "baseline CPI" in out
         assert "multilevel" in out and "coasts" in out
+
+    def test_quick_suite_parallel_with_timing(self, capsys, tmp_path,
+                                              monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        code = main(["--scale", "0.08", "suite", "--quick",
+                     "--jobs", "2", "--timing"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "suite summary" in out
+        assert "jobs=2" in out
+        assert "plan_construction" in out
 
     def test_fig1_experiment(self, capsys, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
