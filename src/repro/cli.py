@@ -22,9 +22,12 @@ from pathlib import Path
 from typing import List, Optional
 
 from .config import CONFIG_A, CONFIG_B, MachineConfig
+from .errors import ConfigError, FaultSpecError, HarnessError, ReproError
 from .harness import (
     ExperimentRunner,
+    FaultPolicy,
     accuracy_experiment,
+    failure_rows,
     format_table,
     granularity_experiment,
     motivation_experiment,
@@ -36,6 +39,28 @@ from .workloads import benchmark_names
 
 #: Experiment names accepted by the ``experiment`` subcommand.
 EXPERIMENTS = ("fig1", "fig3", "fig4", "table2", "table3", "motivation")
+
+#: Exit code when the suite completed but some runs failed (partial
+#: tables were rendered; details went to stderr).
+EXIT_PARTIAL = 1
+
+#: ``ReproError``-to-exit-code mapping: user/configuration mistakes exit
+#: 2 (argparse's own convention), any other library error 70
+#: (EX_SOFTWARE).  First match wins.
+ERROR_EXIT_CODES = (
+    (ConfigError, 2),
+    (HarnessError, 2),
+    (FaultSpecError, 2),
+    (ReproError, 70),
+)
+
+
+def exit_code_for(error: ReproError) -> int:
+    """The process exit code a library error maps to."""
+    for error_class, code in ERROR_EXIT_CODES:
+        if isinstance(error, error_class):
+            return code
+    return 70
 
 
 def _config_of(name: str) -> MachineConfig:
@@ -97,12 +122,46 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _policy_of(args: argparse.Namespace) -> FaultPolicy:
+    """Build the fault policy from the ``--retries`` family of flags."""
+    return FaultPolicy(
+        max_retries=getattr(args, "retries", 1),
+        timeout=getattr(args, "timeout", None),
+        fail_fast=getattr(args, "fail_fast", False),
+    )
+
+
+def _make_runner(args: argparse.Namespace) -> ExperimentRunner:
+    runner = ExperimentRunner(
+        workload_scale=args.scale,
+        jobs=getattr(args, "jobs", 1),
+        policy=_policy_of(args),
+    )
+    runner.resume = getattr(args, "resume", False)
+    return runner
+
+
+def _report_failures(runner: ExperimentRunner) -> int:
+    """Print the failure summary (stderr) and pick the exit code."""
+    if not runner.failures:
+        return 0
+    print(
+        f"{len(runner.failures)} run(s) failed "
+        f"(rerun with --resume to re-attempt only those):",
+        file=sys.stderr,
+    )
+    for failure in runner.failures:
+        print(f"  {failure.describe()}", file=sys.stderr)
+    return EXIT_PARTIAL
+
+
 def _cmd_suite(args: argparse.Namespace) -> int:
-    runner = ExperimentRunner(workload_scale=args.scale, jobs=args.jobs)
+    runner = _make_runner(args)
     config = _config_of(args.config)
-    runs = runner.run_suite(config, quick=args.quick, progress=args.progress)
+    outcome = runner.run_suite(config, quick=args.quick,
+                               progress=args.progress)
     rows = []
-    for run in runs:
+    for run in outcome:
         rows.append([
             run.benchmark,
             f"{run.baseline.cpi:.3f}",
@@ -111,23 +170,26 @@ def _cmd_suite(args: argparse.Namespace) -> int:
             f"{run.speedup('coasts'):.2f}x",
             f"{run.speedup('multilevel'):.2f}x",
         ])
+    rows.extend(failure_rows(outcome.failures, width=6))
     print(format_table(
         ["benchmark", "CPI", "COASTS dev", "ML dev", "COASTS spd", "ML spd"],
         rows,
         title=f"suite summary ({config.name})",
     ))
     _emit_timing(runner, args)
-    return 0
+    return _report_failures(runner)
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
-    runner = ExperimentRunner(workload_scale=args.scale, jobs=args.jobs)
+    runner = _make_runner(args)
     name = args.name
     if name in ("fig3", "fig4"):
         method = "coasts" if name == "fig3" else "multilevel"
         series = speedup_experiment(runner, method, progress=args.progress)
         rows = [[b, f"{v:.2f}x"] for b, v in series.speedups.items()]
-        rows.append(["GEOMEAN", f"{series.geomean:.2f}x"])
+        rows.extend(failure_rows(series.failures, width=2))
+        if series.speedups:
+            rows.append(["GEOMEAN", f"{series.geomean:.2f}x"])
         print(format_table(["benchmark", "speedup"], rows,
                            title=f"{name}: {method} over SimPoint"))
     elif name == "table2":
@@ -183,7 +245,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             title=f"fig1: granularity on {series.benchmark}",
         ))
     _emit_timing(runner, args)
-    return 0
+    return _report_failures(runner)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -216,6 +278,21 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker processes for per-benchmark runs "
                             "(0 = one per CPU; default: 1)")
 
+    def add_fault(p: argparse.ArgumentParser) -> None:
+        # Fault tolerance: failing runs are retried, then reported as
+        # FAILED table rows (exit 1) instead of aborting the campaign.
+        p.add_argument("--retries", type=int, default=1, metavar="N",
+                       help="re-attempts per failing run (default: 1)")
+        p.add_argument("--timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="per-run wall-clock bound (default: none)")
+        p.add_argument("--fail-fast", action="store_true",
+                       help="abort the whole suite on the first run "
+                            "that exhausts its retries")
+        p.add_argument("--resume", action="store_true",
+                       help="skip runs already checkpointed in the suite "
+                            "journal; re-attempt failed/missing ones")
+
     run = sub.add_parser("run", help="run one benchmark with all methods")
     run.add_argument("benchmark", choices=benchmark_names())
     run.add_argument("--config", choices=("a", "b"), default="a")
@@ -228,6 +305,7 @@ def build_parser() -> argparse.ArgumentParser:
     suite.add_argument("--quick", action="store_true",
                        help="only the quick benchmark subset")
     add_jobs(suite)
+    add_fault(suite)
     add_common(suite)
     suite.set_defaults(func=_cmd_suite)
 
@@ -239,17 +317,28 @@ def build_parser() -> argparse.ArgumentParser:
                             help="benchmark for fig1 (default lucas)")
     experiment.add_argument("--progress", action="store_true")
     add_jobs(experiment)
+    add_fault(experiment)
     add_common(experiment)
     experiment.set_defaults(func=_cmd_experiment)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point."""
+    """CLI entry point.
+
+    Library errors (:class:`ReproError`) print a one-line message and
+    exit with a mapped code (see :data:`ERROR_EXIT_CODES`) instead of a
+    traceback; suites that completed partially exit :data:`EXIT_PARTIAL`
+    after rendering their tables.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
     _configure_logging(args)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return exit_code_for(error)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -38,3 +38,19 @@ class SimulationError(ReproError):
 
 class HarnessError(ReproError):
     """The experiment harness was misused or an experiment is unknown."""
+
+
+class RunTimeout(ReproError):
+    """A pipeline run exceeded the fault policy's per-run timeout."""
+
+
+class WorkerCrash(ReproError):
+    """A worker process died (killed, OOM, segfault) mid-run."""
+
+
+class FaultSpecError(ReproError):
+    """A fault-injection spec (``$REPRO_FAULTS``) is malformed."""
+
+
+class InjectedFault(ReproError):
+    """An error raised deliberately by the fault-injection harness."""

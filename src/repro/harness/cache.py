@@ -9,7 +9,11 @@ The cache is safe under concurrent writers (the parallel suite runner fans
 worker processes out over one shared cache directory): writes go to a
 uniquely named temporary file in the cache directory and are published with
 an atomic :func:`os.replace`, and readers tolerate corrupt or partially
-written entries by treating them as misses.
+written entries by treating them as misses.  A corrupt entry is also
+*quarantined* — renamed to ``<entry>.corrupt`` so it cannot be re-read as
+corrupt forever (or hide a disk problem), and counted on the instance's
+``corrupt`` counter; ``clear()`` sweeps quarantined files along with
+stranded temp files.
 """
 
 from __future__ import annotations
@@ -21,8 +25,11 @@ import tempfile
 from pathlib import Path
 from typing import Any, Optional
 
-#: Bump when cached payload layouts change.
-CACHE_SCHEMA_VERSION = 4
+#: Bump when cached payload layouts change.  The version is part of the
+#: content key *and* stored inside every entry, so an entry written under
+#: another schema is detectable (and quarantined) even if it lands on the
+#: same path.
+CACHE_SCHEMA_VERSION = 5
 
 #: Environment variable overriding the cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -39,9 +46,9 @@ def default_cache_dir() -> Path:
 class ResultCache:
     """A trivially simple key -> JSON file cache.
 
-    ``hits`` / ``misses`` count :meth:`get` outcomes on this instance (the
-    timing report surfaces them); they are per-process statistics, not
-    shared state.
+    ``hits`` / ``misses`` / ``corrupt`` count :meth:`get` outcomes on this
+    instance (the timing report surfaces them); they are per-process
+    statistics, not shared state.  Every corrupt read is also a miss.
     """
 
     def __init__(self, directory: Optional[Path] = None, enabled: bool = True) -> None:
@@ -49,28 +56,56 @@ class ResultCache:
         self.enabled = enabled
         self.hits = 0
         self.misses = 0
+        self.corrupt = 0
 
-    def _path(self, key: str) -> Path:
+    def path_for(self, key: str) -> Path:
+        """The on-disk path an entry for *key* occupies."""
         digest = hashlib.sha256(
             f"v{CACHE_SCHEMA_VERSION}:{key}".encode()
         ).hexdigest()[:24]
         return self.directory / f"{digest}.json"
 
+    # Backwards-compatible internal alias.
+    _path = path_for
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt entry aside (``*.json.corrupt``) so it is not
+        re-read forever, and count it."""
+        self.corrupt += 1
+        try:
+            os.replace(path, path.with_name(path.name + ".corrupt"))
+        except OSError:
+            # A concurrent reader quarantined it first, or the directory
+            # is read-only; either way the entry already reads as a miss.
+            pass
+
     def get(self, key: str) -> Optional[Any]:
         """Fetch a cached payload, or None."""
         if not self.enabled:
             return None
-        path = self._path(key)
+        path = self.path_for(key)
         try:
             with open(path) as handle:
                 wrapper = json.load(handle)
-        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
-            # Missing, unreadable, or partially written by a crashed
-            # writer: all count as misses.
+        except FileNotFoundError:
             self.misses += 1
             return None
-        if not isinstance(wrapper, dict) or wrapper.get("key") != key:
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            # Unreadable or partially written by a crashed writer: a
+            # miss, and the torn file is quarantined so the recompute's
+            # fresh entry replaces it.
             self.misses += 1
+            self._quarantine(path)
+            return None
+        if (
+            not isinstance(wrapper, dict)
+            or wrapper.get("version") != CACHE_SCHEMA_VERSION
+            or wrapper.get("key") != key
+        ):
+            # Wrong schema generation or a key collision: structurally
+            # whole but unusable — quarantine it too.
+            self.misses += 1
+            self._quarantine(path)
             return None
         self.hits += 1
         return wrapper.get("payload")
@@ -86,13 +121,20 @@ class ResultCache:
         if not self.enabled:
             return
         self.directory.mkdir(parents=True, exist_ok=True)
-        path = self._path(key)
+        path = self.path_for(key)
         fd, tmp_name = tempfile.mkstemp(
             prefix=path.stem + ".", suffix=".tmp", dir=self.directory
         )
         try:
             with os.fdopen(fd, "w") as handle:
-                json.dump({"key": key, "payload": payload}, handle)
+                json.dump(
+                    {
+                        "version": CACHE_SCHEMA_VERSION,
+                        "key": key,
+                        "payload": payload,
+                    },
+                    handle,
+                )
             os.replace(tmp_name, path)
         except BaseException:
             try:
@@ -102,8 +144,9 @@ class ResultCache:
             raise
 
     def clear(self) -> int:
-        """Delete all cache files (including stranded ``*.tmp`` files left
-        by crashed writers); returns how many entries were removed."""
+        """Delete all cache files — including stranded ``*.tmp`` files
+        left by crashed writers and quarantined ``*.corrupt`` entries;
+        returns how many live entries were removed."""
         if not self.directory.exists():
             return 0
         removed = 0
@@ -113,9 +156,10 @@ class ResultCache:
                 removed += 1
             except OSError:
                 pass
-        for path in self.directory.glob("*.tmp"):
-            try:
-                path.unlink()
-            except OSError:
-                pass
+        for pattern in ("*.tmp", "*.corrupt"):
+            for path in self.directory.glob(pattern):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
         return removed

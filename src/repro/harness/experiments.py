@@ -24,6 +24,7 @@ from ..sampling.estimate import evaluate_plan
 from ..sampling.multilevel import MultiLevelSampler
 from ..sampling.simpoint import SimPoint
 from ..workloads.registry import benchmark_names
+from .recovery import RunFailure
 from .runner import BenchmarkRun, ExperimentRunner
 from .tables import arithmetic_mean, geomean
 
@@ -34,16 +35,22 @@ logger = logging.getLogger(__name__)
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class SpeedupSeries:
-    """Per-benchmark speedups of one method over another (Figs 3/4)."""
+    """Per-benchmark speedups of one method over another (Figs 3/4).
+
+    Benchmarks whose pipeline failed (after retries) appear in
+    ``failures`` instead of ``speedups``; the geomean covers completed
+    rows only, so a partial campaign still yields its headline number.
+    """
 
     method: str
     over: str
     config_name: str
     speedups: Dict[str, float]
+    failures: Tuple[RunFailure, ...] = ()
 
     @property
     def geomean(self) -> float:
-        """Geometric-mean speedup (the paper's headline number)."""
+        """Geometric-mean speedup over completed benchmarks."""
         return geomean(self.speedups.values())
 
 
@@ -56,16 +63,23 @@ def speedup_experiment(
     progress: bool = False,
     jobs: Optional[int] = None,
 ) -> SpeedupSeries:
-    """Figure 3 (method='coasts') / Figure 4 (method='multilevel')."""
-    runs = runner.run_suite(config, names=names, progress=progress, jobs=jobs)
+    """Figure 3 (method='coasts') / Figure 4 (method='multilevel').
+
+    Failed runs are carried on the returned series (strict behaviour —
+    abort on first final failure — comes from a ``fail_fast`` policy on
+    the runner).
+    """
+    outcome = runner.run_suite(config, names=names, progress=progress,
+                               jobs=jobs)
     return SpeedupSeries(
         method=method,
         over=over,
         config_name=config.name,
         speedups={
             run.benchmark: run.speedup(method, over=over, model=runner.cost_model)
-            for run in runs
+            for run in outcome
         },
+        failures=outcome.failures,
     )
 
 
@@ -95,6 +109,7 @@ class AccuracyTable:
     cells: Dict[Tuple[str, str, str], DeviationCell]
     methods: Tuple[str, ...]
     config_names: Tuple[str, ...]
+    failures: Tuple[RunFailure, ...] = ()
 
     METRICS: Tuple[str, ...] = field(
         default=("cpi", "l1_hit_rate", "l2_hit_rate")
@@ -109,11 +124,23 @@ def accuracy_experiment(
     progress: bool = False,
     jobs: Optional[int] = None,
 ) -> AccuracyTable:
-    """Table II: CPI / L1 / L2 deviations per method under both configs."""
+    """Table II: CPI / L1 / L2 deviations per method under both configs.
+
+    Averages and worst cases cover completed runs only; failed runs (per
+    config) are collected on the table's ``failures``.
+    """
     cells: Dict[Tuple[str, str, str], DeviationCell] = {}
+    failures: List[RunFailure] = []
     for config in configs:
-        runs = runner.run_suite(config, names=names, progress=progress,
-                                jobs=jobs)
+        outcome = runner.run_suite(config, names=names, progress=progress,
+                                   jobs=jobs)
+        failures.extend(outcome.failures)
+        runs = outcome.runs
+        if not runs:
+            raise HarnessError(
+                f"no run of config {config.name} completed:\n"
+                + outcome.failure_summary()
+            )
         for metric in ("cpi", "l1_hit_rate", "l2_hit_rate"):
             for method in methods:
                 deviations = {
@@ -130,6 +157,7 @@ def accuracy_experiment(
         cells=cells,
         methods=tuple(methods),
         config_names=tuple(c.name for c in configs),
+        failures=tuple(failures),
     )
 
 
@@ -156,8 +184,17 @@ def statistics_experiment(
     jobs: Optional[int] = None,
 ) -> List[StatisticsRow]:
     """Table III: geometric means of interval size, sample count and the
-    detail / functional instruction fractions."""
-    runs = runner.run_suite(config, names=names, progress=progress, jobs=jobs)
+    detail / functional instruction fractions.
+
+    Geomeans cover completed runs only (failures are recorded on
+    ``runner.failures``); with zero completed runs this raises."""
+    outcome = runner.run_suite(config, names=names, progress=progress,
+                               jobs=jobs)
+    runs = outcome.runs
+    if not runs:
+        raise HarnessError(
+            "no run completed:\n" + outcome.failure_summary()
+        )
     rows: List[StatisticsRow] = []
     for method in methods:
         stats = [run.methods[method].stats for run in runs]

@@ -13,19 +13,44 @@ locally, and return ``BenchmarkRun.to_dict()`` payloads together with
 their serialised timing records.  The parent rebuilds the runs, merges the
 timing reports, and returns results in task order — byte-identical to the
 serial path.
+
+Execution is fault-tolerant (see :mod:`repro.harness.recovery`): a run
+that raises inside a worker is reported as a structured error (with its
+failing stage and traceback) rather than aborting the suite; the parent
+retries it up to the :class:`FaultPolicy`'s budget with deterministic
+backoff, and records a :class:`RunFailure` when the budget is exhausted.
+A worker that *dies* (OOM kill, segfault — surfacing as
+``BrokenProcessPool``) breaks the whole pool; the parent respawns the
+pool and requeues only the unfinished tasks, charging the crash against
+each requeued task's attempt budget.  A run exceeding the policy's
+per-run timeout cannot be cancelled in place (process pools cannot
+interrupt a running call), so the parent terminates the workers,
+respawns the pool, charges the timed-out run an attempt, and requeues
+the innocent in-flight tasks at their current attempt count.
 """
 
 from __future__ import annotations
 
 import logging
 import os
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+import time
+import traceback as traceback_module
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from pathlib import Path
-from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, Optional, Sequence, Set, Tuple
 
 from ..config import MachineConfig
-from ..errors import HarnessError
+from ..errors import HarnessError, ReproError
 from .cache import ResultCache
+from .recovery import (
+    DEFAULT_POLICY,
+    FaultPolicy,
+    RunFailure,
+    SuiteOutcome,
+    assemble_outcome,
+    run_tasks_serial,
+)
 from .timing import SuiteTiming
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -35,6 +60,12 @@ logger = logging.getLogger(__name__)
 
 #: One suite task: a benchmark name under a machine configuration.
 Task = Tuple[str, MachineConfig]
+
+#: How often the parent wakes to check per-run timeouts (seconds).
+_TIMEOUT_TICK = 0.05
+
+#: How long to wait for a broken pool's doomed futures to settle.
+_DRAIN_SECONDS = 30.0
 
 
 def resolve_jobs(jobs: Optional[int]) -> int:
@@ -46,15 +77,23 @@ def resolve_jobs(jobs: Optional[int]) -> int:
     return jobs
 
 
-def _worker_run(payload: dict) -> Tuple[dict, dict]:
+def _worker_run(payload: dict) -> tuple:
     """Execute one pipeline run inside a worker process.
 
     Rebuilds a local :class:`ExperimentRunner` (workers share only the
-    on-disk cache), runs the benchmark, and returns serialised results —
-    the ``BenchmarkRun`` payload and the worker's timing records.
+    on-disk cache), runs the benchmark, and returns either
+    ``("ok", run_payload, timing_payload)`` or — when the pipeline raises
+    a library error — ``("error", info)`` with the exception class,
+    message, traceback, failing stage and the worker's timing records,
+    so the parent can retry or record the failure without the exception
+    tearing down the suite.  Non-library exceptions (genuine bugs)
+    propagate through the future and abort the suite, exactly as on the
+    serial path.
     """
+    from . import faults
     from .runner import ExperimentRunner
 
+    faults.set_attempt(payload.get("attempt", 0))
     runner = ExperimentRunner(
         sampling=payload["sampling"],
         cost_model=payload["cost_model"],
@@ -64,8 +103,42 @@ def _worker_run(payload: dict) -> Tuple[dict, dict]:
         workload_scale=payload["workload_scale"],
         methods=payload["methods"],
     )
-    run = runner.run_benchmark(payload["benchmark"], payload["config"])
-    return run.to_dict(), runner.timing.to_dict()
+    try:
+        run = runner.run_benchmark(payload["benchmark"], payload["config"])
+    except ReproError as error:
+        return (
+            "error",
+            {
+                "error_type": type(error).__name__,
+                "error_message": str(error),
+                "traceback": traceback_module.format_exc(),
+                "stage": getattr(error, "_repro_stage", None),
+                "timing": runner.timing.to_dict(),
+            },
+        )
+    finally:
+        faults.set_attempt(0)
+    return ("ok", run.to_dict(), runner.timing.to_dict())
+
+
+def _kill_pool(pool: ProcessPoolExecutor) -> None:
+    """Forcibly stop a pool whose workers may be hung.
+
+    ``shutdown`` alone would join the workers — forever, if one is hung —
+    so the worker processes are terminated first.  (``_processes`` is
+    private but stable across supported CPythons; when absent we fall
+    back to a plain non-waiting shutdown.)
+    """
+    processes = getattr(pool, "_processes", None) or {}
+    for process in list(processes.values()):
+        try:
+            process.terminate()
+        except OSError:  # pragma: no cover - already dead
+            pass
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except Exception:  # pragma: no cover - broken executor internals
+        pass
 
 
 def run_tasks_parallel(
@@ -73,61 +146,235 @@ def run_tasks_parallel(
     tasks: Sequence[Task],
     jobs: Optional[int] = None,
     progress: bool = False,
-) -> List["BenchmarkRun"]:
+    policy: FaultPolicy = DEFAULT_POLICY,
+    on_run: Optional[Callable[[int, "BenchmarkRun"], None]] = None,
+    on_failure: Optional[Callable[[int, RunFailure], None]] = None,
+) -> SuiteOutcome:
     """Run *tasks* with *runner*'s configuration across worker processes.
 
-    Results come back in task order.  Worker timing records are merged
-    into ``runner.timing``, so the suite report covers every stage of
-    every worker.  With one effective worker (or one task) this falls back
-    to the serial path — same results, no process overhead.
+    Completed runs come back in task order inside a
+    :class:`SuiteOutcome`, with failures (after *policy*'s retry budget)
+    alongside.  Worker timing records — including those of failed
+    attempts — are merged into ``runner.timing``.  With one effective
+    worker (or one task) this falls back to the serial path: same
+    results, same recovery semantics, no process overhead.
+    ``on_run``/``on_failure`` fire as each task settles (the suite
+    journal hooks in here).
     """
     from .runner import BenchmarkRun
 
     jobs = resolve_jobs(jobs)
     runner.timing.jobs = max(runner.timing.jobs, jobs)
     if jobs <= 1 or len(tasks) <= 1:
-        runs = []
-        for benchmark, config in tasks:
-            if progress:
-                logger.info("[%s] %s ...", config.name, benchmark)
-            runs.append(runner.run_benchmark(benchmark, config))
-        return runs
+        return run_tasks_serial(
+            runner, tasks, policy=policy, progress=progress,
+            on_run=on_run, on_failure=on_failure,
+        )
 
-    payloads = [
-        {
-            "benchmark": benchmark,
-            "config": config,
-            "sampling": runner.sampling,
-            "cost_model": runner.cost_model,
-            "workload_scale": runner.workload_scale,
-            "methods": runner.methods,
-            "cache_dir": Path(runner.cache.directory),
-            "cache_enabled": runner.cache.enabled,
-        }
-        for benchmark, config in tasks
-    ]
-    results: List[Optional[BenchmarkRun]] = [None] * len(tasks)
+    payload_base = {
+        "sampling": runner.sampling,
+        "cost_model": runner.cost_model,
+        "workload_scale": runner.workload_scale,
+        "methods": runner.methods,
+        "cache_dir": Path(runner.cache.directory),
+        "cache_enabled": runner.cache.enabled,
+    }
     workers = min(jobs, len(tasks))
     logger.info("fanning %d runs out over %d workers", len(tasks), workers)
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        pending = {
-            pool.submit(_worker_run, payload): index
-            for index, payload in enumerate(payloads)
-        }
-        while pending:
-            done, _ = wait(pending, return_when=FIRST_COMPLETED)
-            for future in done:
-                index = pending.pop(future)
+
+    results: Dict[int, "BenchmarkRun"] = {}
+    failures: Dict[int, RunFailure] = {}
+    attempts: Dict[int, int] = {index: 0 for index in range(len(tasks))}
+    eligible: Dict[int, float] = {index: 0.0 for index in range(len(tasks))}
+    queue: Set[int] = set(range(len(tasks)))
+    pending: Dict[Future, int] = {}
+    running_since: Dict[Future, float] = {}
+
+    def _merge_timing(payload: Optional[dict]) -> None:
+        if payload:
+            runner.timing.merge(SuiteTiming.from_dict(payload))
+
+    def _finalize_failure(index: int, failure: RunFailure) -> None:
+        logger.warning("run failed: %s", failure.describe())
+        if policy.fail_fast:
+            raise HarnessError(f"fail_fast: {failure.describe()}")
+        failures[index] = failure
+        if on_failure is not None:
+            on_failure(index, failure)
+
+    def _attempt_failed(
+        index: int,
+        error_type: str,
+        message: str,
+        tb: str = "",
+        stage: Optional[str] = None,
+    ) -> None:
+        """Charge one failed attempt; requeue with backoff or finalize."""
+        attempts[index] += 1
+        benchmark, config = tasks[index]
+        if attempts[index] < policy.max_attempts:
+            delay = policy.backoff_seconds(attempts[index])
+            logger.info(
+                "[%s] %s attempt %d failed (%s); retrying in %.2fs",
+                config.name, benchmark, attempts[index], error_type, delay,
+            )
+            eligible[index] = time.monotonic() + delay
+            queue.add(index)
+        else:
+            _finalize_failure(index, RunFailure(
+                benchmark=benchmark,
+                config_name=config.name,
+                attempts=attempts[index],
+                max_attempts=policy.max_attempts,
+                error_type=error_type,
+                error_message=message,
+                traceback=tb,
+                stage=stage,
+            ))
+
+    def _handle_done(future: Future) -> bool:
+        """Consume one settled future; returns True if the pool broke."""
+        index = pending.pop(future)
+        running_since.pop(future, None)
+        benchmark, config = tasks[index]
+        try:
+            outcome = future.result()
+        except BrokenProcessPool as error:
+            _attempt_failed(
+                index, "WorkerCrash",
+                f"worker process died mid-run ({error})",
+            )
+            return True
+        except ReproError as error:
+            # A library error raised outside the worker's own capture
+            # (e.g. payload validation in the worker's runner setup).
+            _attempt_failed(
+                index, type(error).__name__, str(error),
+                traceback_module.format_exc(),
+                getattr(error, "_repro_stage", None),
+            )
+            return False
+        except Exception as error:
+            raise HarnessError(
+                f"worker failed on {benchmark} ({config.name}): {error}"
+            ) from error
+        if outcome[0] == "ok":
+            _, run_payload, timing_payload = outcome
+            _merge_timing(timing_payload)
+            results[index] = BenchmarkRun.from_dict(run_payload)
+            if on_run is not None:
+                on_run(index, results[index])
+            if progress:
+                logger.info("[%s] %s done", config.name, benchmark)
+        else:
+            info = outcome[1]
+            _merge_timing(info.get("timing"))
+            _attempt_failed(
+                index, info["error_type"], info["error_message"],
+                info["traceback"], info.get("stage"),
+            )
+        return False
+
+    pool = ProcessPoolExecutor(max_workers=workers)
+    try:
+        while queue or pending:
+            now = time.monotonic()
+            # Submit every task whose backoff has elapsed.
+            for index in sorted(i for i in queue if eligible[i] <= now):
+                queue.discard(index)
                 benchmark, config = tasks[index]
-                try:
-                    run_payload, timing_payload = future.result()
-                except Exception as error:
-                    raise HarnessError(
-                        f"worker failed on {benchmark} ({config.name}): "
-                        f"{error}"
-                    ) from error
-                results[index] = BenchmarkRun.from_dict(run_payload)
-                runner.timing.merge(SuiteTiming.from_dict(timing_payload))
                 if progress:
-                    logger.info("[%s] %s done", config.name, benchmark)
-    return [run for run in results if run is not None]
+                    suffix = (
+                        f" (attempt {attempts[index] + 1})"
+                        if attempts[index] else ""
+                    )
+                    logger.info(
+                        "[%s] %s ...%s", config.name, benchmark, suffix
+                    )
+                payload = dict(
+                    payload_base, benchmark=benchmark, config=config,
+                    attempt=attempts[index],
+                )
+                try:
+                    pending[pool.submit(_worker_run, payload)] = index
+                except BrokenProcessPool:
+                    queue.add(index)
+                    break
+
+            waits = []
+            if queue:
+                next_eligible = min(eligible[i] for i in queue)
+                waits.append(max(next_eligible - now, 0.01))
+            if policy.timeout is not None and pending:
+                waits.append(_TIMEOUT_TICK)
+            timeout = min(waits) if waits else None
+
+            if not pending:
+                if queue:
+                    time.sleep(timeout if timeout is not None else 0.01)
+                continue
+
+            done, _ = wait(
+                set(pending), timeout=timeout, return_when=FIRST_COMPLETED
+            )
+            broken = any([_handle_done(future) for future in done])
+            if broken:
+                # Every other in-flight future is doomed too; drain them
+                # (each crash charges that task an attempt) and respawn.
+                doomed, _ = wait(set(pending), timeout=_DRAIN_SECONDS)
+                for future in doomed:
+                    _handle_done(future)
+                for future in list(pending):
+                    # Anything still unsettled is abandoned with the pool;
+                    # requeue it at its current attempt count.
+                    index = pending.pop(future)
+                    running_since.pop(future, None)
+                    queue.add(index)
+                _kill_pool(pool)
+                pool = ProcessPoolExecutor(max_workers=workers)
+                logger.warning("worker pool died; respawned %d workers",
+                               workers)
+                continue
+
+            if policy.timeout is None:
+                continue
+
+            # Per-run timeout bookkeeping: clocks start when a future is
+            # first observed running (dispatched to a worker), not when
+            # it was submitted to the queue.
+            now = time.monotonic()
+            for future in pending:
+                if future not in running_since and future.running():
+                    running_since[future] = now
+            timed_out = [
+                future for future, began in running_since.items()
+                if future in pending and now - began > policy.timeout
+            ]
+            if not timed_out:
+                continue
+            # A running call cannot be interrupted; tear the pool down,
+            # charge the timed-out runs, requeue the innocents as-is.
+            for future in timed_out:
+                index = pending.pop(future)
+                running_since.pop(future, None)
+                _attempt_failed(
+                    index, "RunTimeout",
+                    f"run exceeded per-run timeout of {policy.timeout}s",
+                )
+            for future in list(pending):
+                index = pending.pop(future)
+                running_since.pop(future, None)
+                queue.add(index)
+                eligible[index] = 0.0
+            _kill_pool(pool)
+            pool = ProcessPoolExecutor(max_workers=workers)
+            logger.warning(
+                "per-run timeout (%.1fs) hit; pool respawned with %d "
+                "workers", policy.timeout, workers,
+            )
+    except BaseException:
+        _kill_pool(pool)
+        raise
+    else:
+        pool.shutdown()
+    return assemble_outcome(tasks, results, failures)

@@ -21,6 +21,7 @@ from __future__ import annotations
 import logging
 import time
 from dataclasses import asdict, dataclass
+from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..config import (
@@ -45,6 +46,15 @@ from ..sampling.points import SamplingPlan
 from ..sampling.simpoint import SimPoint
 from ..workloads.registry import benchmark_names, load_workload
 from .cache import ResultCache
+from .faults import corrupt_cache_entry
+from .recovery import (
+    DEFAULT_POLICY,
+    FaultPolicy,
+    RunFailure,
+    SuiteJournal,
+    SuiteOutcome,
+    run_tasks_serial,
+)
 from .timing import RunTiming, SuiteTiming
 
 logger = logging.getLogger(__name__)
@@ -184,6 +194,7 @@ class ExperimentRunner:
         workload_scale: float = 1.0,
         methods: Iterable[str] = ALL_METHODS,
         jobs: int = 1,
+        policy: Optional[FaultPolicy] = None,
     ) -> None:
         self.sampling = sampling
         self.cost_model = cost_model
@@ -198,6 +209,15 @@ class ExperimentRunner:
         #: Default worker count for :meth:`run_suite` (overridable per
         #: call; 0 means one worker per CPU).
         self.jobs = jobs
+        #: Default fault policy for :meth:`run_suite` (retries, per-run
+        #: timeout, fail_fast; overridable per call).
+        self.policy = policy if policy is not None else DEFAULT_POLICY
+        #: Default resume behaviour for :meth:`run_suite`.
+        self.resume = False
+        #: Final (post-retry) failures accumulated across every
+        #: :meth:`run_suite` call on this runner — the CLI and experiment
+        #: drivers read this for exit codes and failure reports.
+        self.failures: List["RunFailure"] = []
         #: Per-stage wall-clock records of every pipeline run.
         self.timing = SuiteTiming()
         self._traces: Dict[str, Trace] = {}
@@ -318,6 +338,10 @@ class ExperimentRunner:
             methods=methods,
         )
         self.cache.put(key, run.to_dict())
+        # Fault-injection hook: tests corrupt the just-published entry to
+        # prove torn cache files are quarantined, not trusted (no-op
+        # unless $REPRO_FAULTS configures a `corrupt` fault).
+        corrupt_cache_entry(self.cache, key, benchmark)
         record.total_seconds = time.perf_counter() - began
         return run
 
@@ -328,7 +352,10 @@ class ExperimentRunner:
         quick: bool = False,
         progress: bool = False,
         jobs: Optional[int] = None,
-    ) -> List[BenchmarkRun]:
+        policy: Optional[FaultPolicy] = None,
+        resume: Optional[bool] = None,
+        journal: object = None,
+    ) -> SuiteOutcome:
         """Run every benchmark (or *names*) under *config*.
 
         With ``jobs > 1`` the per-benchmark pipelines fan out over worker
@@ -337,25 +364,117 @@ class ExperimentRunner:
         defaults to the runner's construction-time value; ``jobs=0`` means
         one worker per CPU.  *progress* logs per-benchmark lines at INFO
         level (see the CLI's ``-v``).
+
+        Execution is fault-tolerant: a failing run is retried per
+        *policy* (default: the runner's) and, if it keeps failing,
+        recorded as a :class:`RunFailure` on the returned
+        :class:`SuiteOutcome` instead of aborting the suite (iterate the
+        outcome for the completed runs; ``policy.fail_fast`` restores
+        abort semantics).  Progress is checkpointed to a JSONL *journal*
+        next to the result cache (pass ``journal=False`` to disable, or
+        a path to relocate it); with ``resume=True`` runs already
+        journaled by an identical earlier invocation are skipped and
+        only failed or missing ones execute.
         """
         chosen = list(names) if names is not None else benchmark_names(quick=quick)
         jobs = self.jobs if jobs is None else jobs
-        began = time.perf_counter()
-        if jobs != 1 and len(chosen) > 1:
-            from .parallel import resolve_jobs, run_tasks_parallel
+        policy = policy if policy is not None else self.policy
+        resume = self.resume if resume is None else resume
+        tasks = [(name, config) for name in chosen]
 
-            runs = run_tasks_parallel(
-                self, [(name, config) for name in chosen],
-                jobs=resolve_jobs(jobs), progress=progress,
+        suite_journal = self._resolve_journal(journal, config, chosen)
+        preloaded: Dict[int, BenchmarkRun] = {}
+        if suite_journal is not None:
+            if resume:
+                suite_journal.load()
+                completed = suite_journal.completed()
+                suite_journal.drop_failures()
+                for index, (name, _) in enumerate(tasks):
+                    payload = completed.get((name, config.name))
+                    if payload is not None:
+                        preloaded[index] = BenchmarkRun.from_dict(payload)
+                if preloaded:
+                    logger.info(
+                        "resume: %d of %d runs restored from %s",
+                        len(preloaded), len(tasks), suite_journal.path,
+                    )
+            else:
+                suite_journal.reset()
+
+        remaining = [
+            task for index, task in enumerate(tasks) if index not in preloaded
+        ]
+
+        def _journal_run(_: int, run: BenchmarkRun) -> None:
+            if suite_journal is not None:
+                suite_journal.record_run(
+                    run.benchmark, run.config_name, run.to_dict()
+                )
+
+        def _journal_failure(_: int, failure) -> None:
+            if suite_journal is not None:
+                suite_journal.record_failure(failure)
+
+        began = time.perf_counter()
+        try:
+            if remaining and jobs != 1 and len(remaining) > 1:
+                from .parallel import resolve_jobs, run_tasks_parallel
+
+                executed = run_tasks_parallel(
+                    self, remaining, jobs=resolve_jobs(jobs),
+                    progress=progress, policy=policy,
+                    on_run=_journal_run, on_failure=_journal_failure,
+                )
+            elif remaining:
+                executed = run_tasks_serial(
+                    self, remaining, policy=policy, progress=progress,
+                    on_run=_journal_run, on_failure=_journal_failure,
+                )
+            else:
+                executed = SuiteOutcome(())
+        finally:
+            self.timing.wall_seconds += time.perf_counter() - began
+
+        # Reassemble in suite order: journal-restored runs plus whatever
+        # just executed (tasks are unique (benchmark, config) pairs).
+        runs_by_name = {run.benchmark: run for run in executed.runs}
+        failures_by_name = {f.benchmark: f for f in executed.failures}
+        runs: List[BenchmarkRun] = []
+        failures = []
+        for index, (name, _) in enumerate(tasks):
+            if index in preloaded:
+                runs.append(preloaded[index])
+            elif name in runs_by_name:
+                runs.append(runs_by_name[name])
+            elif name in failures_by_name:
+                failures.append(failures_by_name[name])
+        self.failures.extend(failures)
+        return SuiteOutcome(runs, failures)
+
+    def _resolve_journal(
+        self, journal: object, config: MachineConfig, names: List[str]
+    ) -> Optional[SuiteJournal]:
+        """Interpret ``run_suite``'s *journal* argument.
+
+        ``None`` means the default: a journal next to the cache whenever
+        caching is enabled (there is no sensible location otherwise).
+        ``False`` disables journaling; a path relocates the file.
+        """
+        if journal is False:
+            return None
+        if journal is None:
+            if not self.cache.enabled:
+                return None
+            return SuiteJournal.for_suite(
+                self.cache.directory, self, config, names
             )
-        else:
-            runs = []
-            for name in chosen:
-                if progress:
-                    logger.info("[%s] %s ...", config.name, name)
-                runs.append(self.run_benchmark(name, config))
-        self.timing.wall_seconds += time.perf_counter() - began
-        return runs
+        if isinstance(journal, SuiteJournal):
+            return journal
+        from .recovery import suite_fingerprint
+
+        return SuiteJournal(
+            Path(journal), suite_fingerprint(self, config, names)
+        )
 
 
 #: The two Table I configurations, in reporting order.

@@ -81,3 +81,23 @@ def rows_to_csv(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str
 def summarize_dict(d: Dict[str, float], digits: int = 3) -> str:
     """One-line ``k=v`` summary of a flat dict."""
     return ", ".join(f"{k}={v:.{digits}f}" for k, v in d.items())
+
+
+def failure_rows(
+    failures: Iterable["RunFailure"], width: int, label_column: int = 0
+) -> List[List[str]]:
+    """Table rows marking failed benchmarks in a *width*-column table.
+
+    Each failed run renders as its benchmark name, a ``FAILED(n/m)``
+    marker (attempts made / attempts allowed) in ``label_column + 1``,
+    and ``-`` in the remaining cells, so partial campaigns still print
+    complete tables with the gaps explicit rather than silently absent.
+    """
+    rows: List[List[str]] = []
+    for failure in failures:
+        row = ["-"] * width
+        row[label_column] = failure.benchmark
+        if width > label_column + 1:
+            row[label_column + 1] = failure.label
+        rows.append(row)
+    return rows

@@ -88,13 +88,27 @@ class SuiteTiming:
 
     @contextmanager
     def stage(self, record: Optional[RunTiming], name: str) -> Iterator[None]:
-        """Time one stage of *record* (no-op when *record* is None)."""
+        """Time one stage of *record* (no-op when *record* is None).
+
+        Stage entry doubles as the fault-injection hook site (see
+        :mod:`repro.harness.faults`), and an exception escaping the stage
+        is tagged with the stage name so failure records can report
+        *where* a run died; a partially executed stage still books its
+        elapsed time.
+        """
         if record is None:
             yield
             return
+        from . import faults
+
         began = time.perf_counter()
         try:
+            faults.fire_stage(record.benchmark, name)
             yield
+        except BaseException as error:
+            if not hasattr(error, "_repro_stage"):
+                error._repro_stage = name
+            raise
         finally:
             record.add_stage(name, time.perf_counter() - began)
 

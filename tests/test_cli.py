@@ -2,7 +2,14 @@
 
 import pytest
 
-from repro.cli import EXPERIMENTS, build_parser, main
+from repro.cli import EXIT_PARTIAL, EXPERIMENTS, build_parser, exit_code_for, main
+from repro.errors import (
+    ConfigError,
+    FaultSpecError,
+    HarnessError,
+    ReproError,
+)
+from repro.harness.faults import FAULTS_ENV
 
 
 class TestParser:
@@ -57,6 +64,62 @@ class TestParser:
         )
         assert args.timing
         assert args.timing_json == "t.json"
+
+    def test_fault_flags(self):
+        args = build_parser().parse_args(
+            ["suite", "--retries", "3", "--timeout", "5.5",
+             "--fail-fast", "--resume"]
+        )
+        assert args.retries == 3
+        assert args.timeout == 5.5
+        assert args.fail_fast and args.resume
+        args = build_parser().parse_args(["experiment", "fig3"])
+        assert args.retries == 1
+        assert args.timeout is None
+        assert not args.fail_fast and not args.resume
+
+
+class TestExitCodes:
+    def test_error_class_mapping(self):
+        assert exit_code_for(ConfigError("x")) == 2
+        assert exit_code_for(HarnessError("x")) == 2
+        assert exit_code_for(FaultSpecError("x")) == 2
+
+        class OtherLibraryError(ReproError):
+            pass
+
+        assert exit_code_for(OtherLibraryError("x")) == 70
+
+    def test_invalid_policy_exits_cleanly(self, capsys):
+        code = main(["suite", "--quick", "--retries", "-3"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "error:" in err and "max_retries" in err
+        assert "Traceback" not in err
+
+    def test_bad_fault_spec_exits_cleanly(self, capsys, tmp_path,
+                                          monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.setenv(FAULTS_ENV, "explode:gzip")
+        code = main(["--scale", "0.04", "run", "gzip"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "error:" in err and "explode:gzip" in err
+        assert "Traceback" not in err
+
+    def test_partial_suite_renders_table_and_exits_partial(
+            self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.setenv(FAULTS_ENV, "raise:lucas:baseline:*")
+        code = main(["--scale", "0.04", "suite", "--quick",
+                     "--retries", "0"])
+        captured = capsys.readouterr()
+        assert code == EXIT_PARTIAL
+        # The completed rows still render; the failed one is explicit.
+        assert "gzip" in captured.out and "mcf" in captured.out
+        assert "FAILED(1/1)" in captured.out
+        assert "InjectedFault in baseline" in captured.err
+        assert "--resume" in captured.err
 
 
 class TestExecution:

@@ -19,6 +19,7 @@ from repro.config import CONFIG_A
 from repro.detailed import TimingSimulator
 from repro.errors import HarnessError
 from repro.harness import (
+    CACHE_SCHEMA_VERSION,
     ExperimentRunner,
     ResultCache,
     RunTiming,
@@ -124,21 +125,55 @@ class TestCacheConcurrency:
             assert set(value) == {"worker", "round"}
         assert list(tmp_path.glob("*.tmp")) == []
 
-    def test_corrupt_entry_reads_as_miss(self, tmp_path):
+    def test_corrupt_entry_reads_as_miss_and_quarantines(self, tmp_path):
         cache = ResultCache(directory=tmp_path)
         cache.put("ok", {"x": 1})
-        path = next(tmp_path.glob("*.json"))
+        path = cache.path_for("ok")
         path.write_text("{ torn write")
         assert cache.get("ok") is None
         assert cache.misses == 1
+        assert cache.corrupt == 1
+        # Quarantined aside, so the recompute's entry is fresh, not the
+        # same torn bytes forever.
+        assert not path.exists()
+        assert path.with_name(path.name + ".corrupt").exists()
 
-    def test_clear_removes_stranded_tmp_files(self, tmp_path):
+    def test_stale_schema_version_quarantined(self, tmp_path):
+        cache = ResultCache(directory=tmp_path)
+        cache.put("k", {"x": 1})
+        path = cache.path_for("k")
+        wrapper = json.loads(path.read_text())
+        wrapper["version"] = CACHE_SCHEMA_VERSION - 1
+        path.write_text(json.dumps(wrapper))
+        # Structurally whole but written under another schema generation:
+        # a miss, and quarantined like a torn file.
+        assert cache.get("k") is None
+        assert cache.corrupt == 1
+        assert path.with_name(path.name + ".corrupt").exists()
+        cache.put("k", {"x": 1})
+        assert cache.get("k") == {"x": 1}
+
+    def test_key_collision_quarantined(self, tmp_path):
+        cache = ResultCache(directory=tmp_path)
+        cache.put("k", {"x": 1})
+        path = cache.path_for("k")
+        wrapper = json.loads(path.read_text())
+        wrapper["key"] = "something else"
+        path.write_text(json.dumps(wrapper))
+        assert cache.get("k") is None
+        assert cache.corrupt == 1
+
+    def test_clear_removes_stranded_tmp_and_corrupt_files(self, tmp_path):
         cache = ResultCache(directory=tmp_path)
         cache.put("a", 1)
         (tmp_path / "stranded.tmp").write_text("half a payload")
+        cache.put("b", 2)
+        cache.path_for("b").write_text("{ torn")
+        assert cache.get("b") is None  # quarantines to *.corrupt
         cache.clear()
         assert list(tmp_path.glob("*.json")) == []
         assert list(tmp_path.glob("*.tmp")) == []
+        assert list(tmp_path.glob("*.corrupt")) == []
 
     def test_hit_miss_counters(self, tmp_path):
         cache = ResultCache(directory=tmp_path)
