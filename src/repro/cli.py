@@ -6,6 +6,8 @@ Three subcommands drive the library without writing Python::
     python -m repro suite --config b          # whole-suite summary table
     python -m repro suite --jobs 4 --timing   # parallel, with stage report
     python -m repro experiment fig3           # regenerate a paper table/figure
+    python -m repro suite --trace-out t.jsonl # + span/metric event log
+    python -m repro obs report t.jsonl        # render a recorded trace
 
 Heavy artefacts are disk-cached exactly as in the benches (the
 ``.repro_cache`` directory, or ``$REPRO_CACHE_DIR``); the cache is safe to
@@ -21,8 +23,16 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
+from . import __version__
 from .config import CONFIG_A, CONFIG_B, MachineConfig
 from .errors import ConfigError, FaultSpecError, HarnessError, ReproError
+from .obs import (
+    RunManifest,
+    format_trace_report,
+    read_trace_jsonl,
+    write_prometheus,
+    write_trace_jsonl,
+)
 from .harness import (
     ExperimentRunner,
     FaultPolicy,
@@ -95,6 +105,41 @@ def _emit_timing(runner: ExperimentRunner, args: argparse.Namespace) -> None:
         print(f"[timing report written to {timing_json}]")
 
 
+def _emit_obs(
+    runner: ExperimentRunner,
+    args: argparse.Namespace,
+    config: Optional[MachineConfig] = None,
+    names: Optional[List[str]] = None,
+    outcome=None,
+) -> None:
+    """Write the observability artefacts the flags asked for.
+
+    All three sinks share one :class:`RunManifest` snapshot, so the
+    trace header, the standalone manifest and the metrics exposition
+    describe the same invocation.
+    """
+    trace_out = getattr(args, "trace_out", None)
+    metrics_out = getattr(args, "metrics_out", None)
+    manifest_out = getattr(args, "manifest_out", None)
+    if not (trace_out or metrics_out or manifest_out):
+        return
+    manifest = RunManifest.collect(
+        runner, config=config, names=names or [], outcome=outcome
+    )
+    if trace_out:
+        count = write_trace_jsonl(
+            trace_out, runner.obs.tracer, runner.obs.metrics,
+            manifest.to_dict(),
+        )
+        print(f"[trace: {count} records written to {trace_out}]")
+    if metrics_out:
+        write_prometheus(metrics_out, runner.obs.metrics)
+        print(f"[metrics written to {metrics_out}]")
+    if manifest_out:
+        manifest.write(manifest_out)
+        print(f"[manifest written to {manifest_out}]")
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     runner = ExperimentRunner(workload_scale=args.scale)
     config = _config_of(args.config)
@@ -119,6 +164,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         rows,
     ))
     _emit_timing(runner, args)
+    _emit_obs(runner, args, config=config, names=[args.benchmark])
     return 0
 
 
@@ -177,6 +223,10 @@ def _cmd_suite(args: argparse.Namespace) -> int:
         title=f"suite summary ({config.name})",
     ))
     _emit_timing(runner, args)
+    _emit_obs(
+        runner, args, config=config,
+        names=benchmark_names(quick=args.quick), outcome=outcome,
+    )
     return _report_failures(runner)
 
 
@@ -245,7 +295,14 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             title=f"fig1: granularity on {series.benchmark}",
         ))
     _emit_timing(runner, args)
+    _emit_obs(runner, args)
     return _report_failures(runner)
+
+
+def _cmd_obs_report(args: argparse.Namespace) -> int:
+    dump = read_trace_jsonl(args.trace)
+    print(format_trace_report(dump, max_depth=args.depth))
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -255,6 +312,8 @@ def build_parser() -> argparse.ArgumentParser:
         description="Multi-level phase analysis for sampling simulation "
                     "(DATE 2013 reproduction)",
     )
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
     parser.add_argument("--scale", type=float, default=1.0,
                         help="workload scale factor (default: 1.0)")
     parser.add_argument("-v", "--verbose", action="count", default=0,
@@ -272,6 +331,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print the per-stage timing report")
         p.add_argument("--timing-json", metavar="FILE", default=None,
                        help="dump the timing report as JSON to FILE")
+        p.add_argument("--trace-out", metavar="FILE", default=None,
+                       help="write the span/metric event log as JSONL to "
+                            "FILE (inspect with `repro obs report`)")
+        p.add_argument("--metrics-out", metavar="FILE", default=None,
+                       help="write the metrics as Prometheus text "
+                            "exposition to FILE")
+        p.add_argument("--manifest-out", metavar="FILE", default=None,
+                       help="write the run manifest (provenance record) "
+                            "as JSON to FILE")
 
     def add_jobs(p: argparse.ArgumentParser) -> None:
         p.add_argument("--jobs", type=int, default=1, metavar="N",
@@ -320,6 +388,18 @@ def build_parser() -> argparse.ArgumentParser:
     add_fault(experiment)
     add_common(experiment)
     experiment.set_defaults(func=_cmd_experiment)
+
+    obs = sub.add_parser("obs", help="inspect observability artefacts")
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    report = obs_sub.add_parser(
+        "report",
+        help="render a --trace-out JSONL file as a span tree, aggregate "
+             "table and counter summary",
+    )
+    report.add_argument("trace", help="path to a --trace-out JSONL file")
+    report.add_argument("--depth", type=int, default=None, metavar="N",
+                        help="limit the rendered span tree depth")
+    report.set_defaults(func=_cmd_obs_report)
     return parser
 
 

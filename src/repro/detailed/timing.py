@@ -30,6 +30,7 @@ import numpy as np
 from ..config import MachineConfig
 from ..engine.trace import SegmentPiece, Trace
 from ..errors import SimulationError
+from ..obs import DETAILED_CALLS, DETAILED_INSTRUCTIONS, MetricsRegistry
 from ..uarch.branch import (
     advance_loop_branch,
     exit_loop_branch,
@@ -106,11 +107,23 @@ class MachineState:
 
 
 class TimingSimulator:
-    """Detailed timing simulation of (ranges of) one trace."""
+    """Detailed timing simulation of (ranges of) one trace.
 
-    def __init__(self, trace: Trace, config: MachineConfig) -> None:
+    *metrics* hooks the simulator into an observability registry at
+    coarse granularity — one bump per :meth:`simulate_range` call, never
+    inside the per-piece loop.  A private registry is used when none is
+    supplied.
+    """
+
+    def __init__(
+        self,
+        trace: Trace,
+        config: MachineConfig,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
         self.trace = trace
         self.config = config
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         program = trace.program
         self.program = program
 
@@ -232,8 +245,16 @@ class TimingSimulator:
             state = self.new_state()
         if result is None:
             result = SimulationResult()
+        before = result.instructions
         for piece in self.trace.clip(start, end):
             self._simulate_piece(piece, state, result)
+        # Coarse accounting only: simulate_full/simulate_point delegate
+        # here, so every detail-simulated instruction is counted exactly
+        # once, outside the hot loop.
+        self.metrics.counter(DETAILED_CALLS).inc()
+        self.metrics.counter(DETAILED_INSTRUCTIONS).inc(
+            float(result.instructions - before)
+        )
         return result
 
     def simulate_point(

@@ -19,6 +19,7 @@ from typing import Dict, Optional
 import numpy as np
 
 from ..errors import TraceError
+from ..obs import FUNCTIONAL_INSTRUCTIONS, PROFILE_PASSES, MetricsRegistry
 from .profiles import (
     CoarseIntervalProfile,
     FixedIntervalProfile,
@@ -30,11 +31,20 @@ from .trace import Trace
 
 
 class FunctionalSimulator:
-    """Functional (no-timing) execution and profiling over a trace."""
+    """Functional (no-timing) execution and profiling over a trace.
 
-    def __init__(self, trace: Trace) -> None:
+    *metrics* hooks the simulator into an observability registry at
+    coarse granularity — one counter bump per pass, never per interval
+    or block, so the hot loops stay untouched.  A private registry is
+    used when none is supplied.
+    """
+
+    def __init__(
+        self, trace: Trace, metrics: Optional[MetricsRegistry] = None
+    ) -> None:
         self.trace = trace
         self.program = trace.program
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
 
     # ------------------------------------------------------------------
     def run(self) -> FunctionalResult:
@@ -55,6 +65,10 @@ class FunctionalSimulator:
             minlength=self.program.n_blocks,
         ).astype(np.int64)
         instructions = counts * self.program.block_sizes
+        self.metrics.counter(PROFILE_PASSES, kind="functional_run").inc()
+        self.metrics.counter(FUNCTIONAL_INSTRUCTIONS).inc(
+            float(instructions.sum())
+        )
         return FunctionalResult(
             total_instructions=int(instructions.sum()),
             block_counts=counts,
@@ -89,6 +103,8 @@ class FunctionalSimulator:
         starts = np.arange(n_intervals, dtype=np.int64) * interval_size + start
         instructions = np.full(n_intervals, interval_size, dtype=np.int64)
         instructions[-1] = end - int(starts[-1])
+        self.metrics.counter(PROFILE_PASSES, kind="fixed").inc()
+        self.metrics.counter(FUNCTIONAL_INSTRUCTIONS).inc(float(total))
         return FixedIntervalProfile(
             interval_size=interval_size,
             starts=starts,
@@ -210,6 +226,10 @@ class FunctionalSimulator:
 
         starts = bounds[:, 0].copy()
         instructions = (bounds[:, 1] - bounds[:, 0]).astype(np.int64)
+        self.metrics.counter(PROFILE_PASSES, kind="coarse").inc()
+        self.metrics.counter(FUNCTIONAL_INSTRUCTIONS).inc(
+            float(instructions.sum())
+        )
         return CoarseIntervalProfile(
             starts=starts,
             instructions=instructions,
@@ -239,6 +259,7 @@ class FunctionalSimulator:
         insts[outer_id] = total - trace.prologue_end
         instances[outer_id] = trace.spec.n_outer_iterations
 
+        self.metrics.counter(PROFILE_PASSES, kind="structure").inc()
         profiles: StructureProfiles = {}
         for loop in program.loops:
             profiles[loop.loop_id] = StructureProfile(

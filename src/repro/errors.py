@@ -52,5 +52,9 @@ class FaultSpecError(ReproError):
     """A fault-injection spec (``$REPRO_FAULTS``) is malformed."""
 
 
+class ObservabilityError(ReproError):
+    """The observability layer was misused or fed an unreadable trace."""
+
+
 class InjectedFault(ReproError):
     """An error raised deliberately by the fault-injection harness."""

@@ -25,6 +25,8 @@ import tempfile
 from pathlib import Path
 from typing import Any, Optional
 
+from ..obs import CACHE_CORRUPT, CACHE_HITS, CACHE_MISSES, MetricsRegistry
+
 #: Bump when cached payload layouts change.  The version is part of the
 #: content key *and* stored inside every entry, so an entry written under
 #: another schema is detectable (and quarantined) even if it lands on the
@@ -46,17 +48,49 @@ def default_cache_dir() -> Path:
 class ResultCache:
     """A trivially simple key -> JSON file cache.
 
-    ``hits`` / ``misses`` / ``corrupt`` count :meth:`get` outcomes on this
-    instance (the timing report surfaces them); they are per-process
-    statistics, not shared state.  Every corrupt read is also a miss.
+    ``hits`` / ``misses`` / ``corrupt`` count :meth:`get` outcomes —
+    backed by counters on a :class:`MetricsRegistry` (a private one by
+    default; :meth:`bind_metrics` rebinds to a shared registry, which is
+    how the experiment runner folds cache traffic into its observability
+    context and ``--metrics-out``).  They are per-process statistics,
+    not shared state.  Every corrupt read is also a miss.
     """
 
-    def __init__(self, directory: Optional[Path] = None, enabled: bool = True) -> None:
+    def __init__(
+        self,
+        directory: Optional[Path] = None,
+        enabled: bool = True,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
         self.directory = Path(directory) if directory else default_cache_dir()
         self.enabled = enabled
-        self.hits = 0
-        self.misses = 0
-        self.corrupt = 0
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+
+    def bind_metrics(self, registry: MetricsRegistry) -> None:
+        """Re-home this cache's counters onto *registry*.
+
+        Counts already booked on the old registry carry over, so binding
+        after use loses nothing.
+        """
+        if registry is self.metrics:
+            return
+        registry.merge(self.metrics)
+        self.metrics = registry
+
+    @property
+    def hits(self) -> int:
+        """Reads served from a whole, current-schema entry."""
+        return int(self.metrics.value(CACHE_HITS))
+
+    @property
+    def misses(self) -> int:
+        """Reads that found nothing usable (corrupt reads included)."""
+        return int(self.metrics.value(CACHE_MISSES))
+
+    @property
+    def corrupt(self) -> int:
+        """Reads that quarantined a torn, stale or colliding entry."""
+        return int(self.metrics.value(CACHE_CORRUPT))
 
     def path_for(self, key: str) -> Path:
         """The on-disk path an entry for *key* occupies."""
@@ -71,7 +105,7 @@ class ResultCache:
     def _quarantine(self, path: Path) -> None:
         """Move a corrupt entry aside (``*.json.corrupt``) so it is not
         re-read forever, and count it."""
-        self.corrupt += 1
+        self.metrics.counter(CACHE_CORRUPT).inc()
         try:
             os.replace(path, path.with_name(path.name + ".corrupt"))
         except OSError:
@@ -88,13 +122,13 @@ class ResultCache:
             with open(path) as handle:
                 wrapper = json.load(handle)
         except FileNotFoundError:
-            self.misses += 1
+            self.metrics.counter(CACHE_MISSES).inc()
             return None
         except (OSError, json.JSONDecodeError, UnicodeDecodeError):
             # Unreadable or partially written by a crashed writer: a
             # miss, and the torn file is quarantined so the recompute's
             # fresh entry replaces it.
-            self.misses += 1
+            self.metrics.counter(CACHE_MISSES).inc()
             self._quarantine(path)
             return None
         if (
@@ -104,10 +138,10 @@ class ResultCache:
         ):
             # Wrong schema generation or a key collision: structurally
             # whole but unusable — quarantine it too.
-            self.misses += 1
+            self.metrics.counter(CACHE_MISSES).inc()
             self._quarantine(path)
             return None
-        self.hits += 1
+        self.metrics.counter(CACHE_HITS).inc()
         return wrapper.get("payload")
 
     def put(self, key: str, payload: Any) -> None:

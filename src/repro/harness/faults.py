@@ -44,6 +44,7 @@ from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from ..errors import FaultSpecError, InjectedFault
+from ..obs import FAULTS_INJECTED
 
 logger = logging.getLogger(__name__)
 
@@ -193,4 +194,5 @@ def corrupt_cache_entry(cache, key: str, benchmark: str) -> None:
                 "injected cache corruption for %s (attempt %d)",
                 benchmark, _current_attempt,
             )
+            cache.metrics.counter(FAULTS_INJECTED, site="cache").inc()
             path.write_text("{corrupted by injected fault")

@@ -42,6 +42,14 @@ from typing import TYPE_CHECKING, Callable, Dict, Optional, Sequence, Set, Tuple
 
 from ..config import MachineConfig
 from ..errors import HarnessError, ReproError
+from ..obs import (
+    POOL_RESPAWNS,
+    RUN_FAILURES,
+    RUN_RETRIES,
+    RUN_TIMEOUTS,
+    RUNS_COMPLETED,
+    WORKER_CRASHES,
+)
 from .cache import ResultCache
 from .recovery import (
     DEFAULT_POLICY,
@@ -77,18 +85,27 @@ def resolve_jobs(jobs: Optional[int]) -> int:
     return jobs
 
 
+def _worker_obs(runner: "ExperimentRunner") -> dict:
+    """A worker's observability shipment: timing view + spans + metrics."""
+    return {
+        "timing": runner.timing.to_dict(),
+        "spans": runner.obs.tracer.to_payload(),
+        "metrics": runner.obs.metrics.to_dict(),
+    }
+
+
 def _worker_run(payload: dict) -> tuple:
     """Execute one pipeline run inside a worker process.
 
     Rebuilds a local :class:`ExperimentRunner` (workers share only the
     on-disk cache), runs the benchmark, and returns either
-    ``("ok", run_payload, timing_payload)`` or — when the pipeline raises
+    ``("ok", run_payload, obs_payload)`` or — when the pipeline raises
     a library error — ``("error", info)`` with the exception class,
-    message, traceback, failing stage and the worker's timing records,
-    so the parent can retry or record the failure without the exception
-    tearing down the suite.  Non-library exceptions (genuine bugs)
-    propagate through the future and abort the suite, exactly as on the
-    serial path.
+    message, traceback, failing stage and the worker's observability
+    records (timing view, span trees, metrics), so the parent can retry
+    or record the failure without the exception tearing down the suite.
+    Non-library exceptions (genuine bugs) propagate through the future
+    and abort the suite, exactly as on the serial path.
     """
     from . import faults
     from .runner import ExperimentRunner
@@ -113,12 +130,12 @@ def _worker_run(payload: dict) -> tuple:
                 "error_message": str(error),
                 "traceback": traceback_module.format_exc(),
                 "stage": getattr(error, "_repro_stage", None),
-                "timing": runner.timing.to_dict(),
+                "obs": _worker_obs(runner),
             },
         )
     finally:
         faults.set_attempt(0)
-    return ("ok", run.to_dict(), runner.timing.to_dict())
+    return ("ok", run.to_dict(), _worker_obs(runner))
 
 
 def _kill_pool(pool: ProcessPoolExecutor) -> None:
@@ -154,8 +171,9 @@ def run_tasks_parallel(
 
     Completed runs come back in task order inside a
     :class:`SuiteOutcome`, with failures (after *policy*'s retry budget)
-    alongside.  Worker timing records — including those of failed
-    attempts — are merged into ``runner.timing``.  With one effective
+    alongside.  Worker observability records — timing, span trees and
+    metrics, including those of failed attempts — are merged into
+    ``runner.timing`` / ``runner.obs``.  With one effective
     worker (or one task) this falls back to the serial path: same
     results, same recovery semantics, no process overhead.
     ``on_run``/``on_failure`` fire as each task settles (the suite
@@ -190,12 +208,23 @@ def run_tasks_parallel(
     pending: Dict[Future, int] = {}
     running_since: Dict[Future, float] = {}
 
-    def _merge_timing(payload: Optional[dict]) -> None:
-        if payload:
-            runner.timing.merge(SuiteTiming.from_dict(payload))
+    metrics = runner.obs.metrics
+
+    def _merge_obs(payload: Optional[dict]) -> None:
+        """Fold one worker's shipment into the parent's collectors.
+
+        Span roots attach under the tracer's current span (the suite
+        span), so the merged trace reads ``suite -> run -> stages``
+        regardless of which process ran what.
+        """
+        if not payload:
+            return
+        runner.timing.merge(SuiteTiming.from_dict(payload["timing"]))
+        runner.obs.merge_dict(payload)
 
     def _finalize_failure(index: int, failure: RunFailure) -> None:
         logger.warning("run failed: %s", failure.describe())
+        metrics.counter(RUN_FAILURES).inc()
         if policy.fail_fast:
             raise HarnessError(f"fail_fast: {failure.describe()}")
         failures[index] = failure
@@ -218,6 +247,7 @@ def run_tasks_parallel(
                 "[%s] %s attempt %d failed (%s); retrying in %.2fs",
                 config.name, benchmark, attempts[index], error_type, delay,
             )
+            metrics.counter(RUN_RETRIES).inc()
             eligible[index] = time.monotonic() + delay
             queue.add(index)
         else:
@@ -240,6 +270,7 @@ def run_tasks_parallel(
         try:
             outcome = future.result()
         except BrokenProcessPool as error:
+            metrics.counter(WORKER_CRASHES).inc()
             _attempt_failed(
                 index, "WorkerCrash",
                 f"worker process died mid-run ({error})",
@@ -259,8 +290,9 @@ def run_tasks_parallel(
                 f"worker failed on {benchmark} ({config.name}): {error}"
             ) from error
         if outcome[0] == "ok":
-            _, run_payload, timing_payload = outcome
-            _merge_timing(timing_payload)
+            _, run_payload, obs_payload = outcome
+            _merge_obs(obs_payload)
+            metrics.counter(RUNS_COMPLETED).inc()
             results[index] = BenchmarkRun.from_dict(run_payload)
             if on_run is not None:
                 on_run(index, results[index])
@@ -268,7 +300,7 @@ def run_tasks_parallel(
                 logger.info("[%s] %s done", config.name, benchmark)
         else:
             info = outcome[1]
-            _merge_timing(info.get("timing"))
+            _merge_obs(info.get("obs"))
             _attempt_failed(
                 index, info["error_type"], info["error_message"],
                 info["traceback"], info.get("stage"),
@@ -332,6 +364,7 @@ def run_tasks_parallel(
                     queue.add(index)
                 _kill_pool(pool)
                 pool = ProcessPoolExecutor(max_workers=workers)
+                metrics.counter(POOL_RESPAWNS).inc()
                 logger.warning("worker pool died; respawned %d workers",
                                workers)
                 continue
@@ -357,6 +390,7 @@ def run_tasks_parallel(
             for future in timed_out:
                 index = pending.pop(future)
                 running_since.pop(future, None)
+                metrics.counter(RUN_TIMEOUTS).inc()
                 _attempt_failed(
                     index, "RunTimeout",
                     f"run exceeded per-run timeout of {policy.timeout}s",
@@ -368,6 +402,7 @@ def run_tasks_parallel(
                 eligible[index] = 0.0
             _kill_pool(pool)
             pool = ProcessPoolExecutor(max_workers=workers)
+            metrics.counter(POOL_RESPAWNS).inc()
             logger.warning(
                 "per-run timeout (%.1fs) hit; pool respawned with %d "
                 "workers", policy.timeout, workers,

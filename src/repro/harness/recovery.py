@@ -44,6 +44,7 @@ from typing import (
 
 from ..config import MachineConfig
 from ..errors import HarnessError, ReproError, RunTimeout
+from ..obs import RUN_FAILURES, RUN_RETRIES, RUN_TIMEOUTS, RUNS_COMPLETED
 from .cache import CACHE_SCHEMA_VERSION
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -319,6 +320,7 @@ def run_tasks_serial(
     """
     from . import faults
 
+    metrics = runner.obs.metrics
     results: Dict[int, "BenchmarkRun"] = {}
     failures: Dict[int, RunFailure] = {}
     for index, (benchmark, config) in enumerate(tasks):
@@ -337,6 +339,8 @@ def run_tasks_serial(
                 # timeouts) are retryable run failures; anything else —
                 # KeyboardInterrupt, MemoryError, genuine bugs outside
                 # the library's error contract — still propagates.
+                if isinstance(error, RunTimeout):
+                    metrics.counter(RUN_TIMEOUTS).inc()
                 failure = RunFailure.from_exception(
                     benchmark, config.name, error,
                     attempts=attempt + 1,
@@ -344,7 +348,9 @@ def run_tasks_serial(
                 )
                 logger.warning("run failed: %s", failure.describe())
                 if attempt + 1 < policy.max_attempts:
+                    metrics.counter(RUN_RETRIES).inc()
                     continue
+                metrics.counter(RUN_FAILURES).inc()
                 if policy.fail_fast:
                     raise HarnessError(
                         f"fail_fast: {failure.describe()}"
@@ -356,6 +362,7 @@ def run_tasks_serial(
             finally:
                 faults.set_attempt(0)
             results[index] = run
+            metrics.counter(RUNS_COMPLETED).inc()
             if on_run is not None:
                 on_run(index, run)
             break

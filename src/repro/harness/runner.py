@@ -38,6 +38,7 @@ from ..detailed.timing import TimingSimulator
 from ..engine.functional import FunctionalSimulator
 from ..engine.trace import Trace, build_trace
 from ..errors import HarnessError
+from ..obs import ObsContext
 from ..sampling.coasts import Coasts
 from ..sampling.early import EarlySimPoint
 from ..sampling.estimate import evaluate_plan, plan_ranges, simulate_point_set
@@ -218,8 +219,14 @@ class ExperimentRunner:
         #: :meth:`run_suite` call on this runner — the CLI and experiment
         #: drivers read this for exit codes and failure reports.
         self.failures: List["RunFailure"] = []
-        #: Per-stage wall-clock records of every pipeline run.
-        self.timing = SuiteTiming()
+        #: This runner's observability context: every span (suite, run,
+        #: stage) and metric (cache traffic, retries, simulator work)
+        #: lands here; workers ship theirs back for merging.
+        self.obs = ObsContext()
+        self.cache.bind_metrics(self.obs.metrics)
+        #: Per-stage wall-clock records of every pipeline run (a
+        #: compatibility view over the obs span trees).
+        self.timing = SuiteTiming(obs=self.obs)
         self._traces: Dict[str, Trace] = {}
         self._plans: Dict[str, Dict[str, SamplingPlan]] = {}
 
@@ -242,7 +249,7 @@ class ExperimentRunner:
         if benchmark in self._plans:
             return self._plans[benchmark]
         trace = self.trace(benchmark)
-        functional = FunctionalSimulator(trace)
+        functional = FunctionalSimulator(trace, metrics=self.obs.metrics)
         plans: Dict[str, SamplingPlan] = {}
         fine_profile = None
         if {"simpoint", "early_sp"} & set(self.methods):
@@ -291,59 +298,59 @@ class ExperimentRunner:
         self, benchmark: str, config: MachineConfig = CONFIG_A
     ) -> BenchmarkRun:
         """Full pipeline for one benchmark and config (disk-cached)."""
-        record = self.timing.start_run(benchmark, config.name)
-        began = time.perf_counter()
-        key = self._cache_key(benchmark, config)
-        cached = self.cache.get(key)
-        if cached is not None:
-            record.cache_hit = True
-            record.total_seconds = time.perf_counter() - began
-            logger.debug("[%s] %s: cache hit", config.name, benchmark)
-            return BenchmarkRun.from_dict(cached)
+        with self.timing.run(benchmark, config.name) as record:
+            key = self._cache_key(benchmark, config)
+            cached = self.cache.get(key)
+            if cached is not None:
+                record.cache_hit = True
+                logger.debug("[%s] %s: cache hit", config.name, benchmark)
+                return BenchmarkRun.from_dict(cached)
 
-        with self.timing.stage(record, "trace_build"):
-            trace = self.trace(benchmark)
-        plans = self.plans(benchmark, record)
-        with self.timing.stage(record, "baseline"):
-            simulator = TimingSimulator(trace, config)
-            baseline = simulator.simulate_full().metrics()
+            with self.timing.stage(record, "trace_build"):
+                trace = self.trace(benchmark)
+            plans = self.plans(benchmark, record)
+            with self.timing.stage(record, "baseline"):
+                simulator = TimingSimulator(
+                    trace, config, metrics=self.obs.metrics
+                )
+                baseline = simulator.simulate_full().metrics()
 
-        with self.timing.stage(record, "point_simulation"):
-            if self.sampling.full_warming:
-                union = sorted(
-                    {r for plan in plans.values() for r in plan_ranges(plan)}
-                )
-                leaf_cache: Dict[Tuple[int, int], SimulationResult] = \
-                    simulate_point_set(simulator, union)
-            else:
-                leaf_cache = {}
-            methods: Dict[str, MethodResult] = {}
-            for name in self.methods:
-                plan = plans[name]
-                evaluation = evaluate_plan(
-                    plan, simulator, baseline, config=self.sampling,
-                    cache=leaf_cache,
-                )
-                methods[name] = MethodResult(
-                    stats=PlanStats.from_plan(plan),
-                    estimate=evaluation.estimate,
-                    deviation=evaluation.deviation,
-                )
+            with self.timing.stage(record, "point_simulation"):
+                if self.sampling.full_warming:
+                    union = sorted(
+                        {r for plan in plans.values()
+                         for r in plan_ranges(plan)}
+                    )
+                    leaf_cache: Dict[Tuple[int, int], SimulationResult] = \
+                        simulate_point_set(simulator, union)
+                else:
+                    leaf_cache = {}
+                methods: Dict[str, MethodResult] = {}
+                for name in self.methods:
+                    plan = plans[name]
+                    evaluation = evaluate_plan(
+                        plan, simulator, baseline, config=self.sampling,
+                        cache=leaf_cache,
+                    )
+                    methods[name] = MethodResult(
+                        stats=PlanStats.from_plan(plan),
+                        estimate=evaluation.estimate,
+                        deviation=evaluation.deviation,
+                    )
 
-        run = BenchmarkRun(
-            benchmark=benchmark,
-            config_name=config.name,
-            total_instructions=trace.total_instructions,
-            baseline=baseline,
-            methods=methods,
-        )
-        self.cache.put(key, run.to_dict())
-        # Fault-injection hook: tests corrupt the just-published entry to
-        # prove torn cache files are quarantined, not trusted (no-op
-        # unless $REPRO_FAULTS configures a `corrupt` fault).
-        corrupt_cache_entry(self.cache, key, benchmark)
-        record.total_seconds = time.perf_counter() - began
-        return run
+            run = BenchmarkRun(
+                benchmark=benchmark,
+                config_name=config.name,
+                total_instructions=trace.total_instructions,
+                baseline=baseline,
+                methods=methods,
+            )
+            self.cache.put(key, run.to_dict())
+            # Fault-injection hook: tests corrupt the just-published entry
+            # to prove torn cache files are quarantined, not trusted
+            # (no-op unless $REPRO_FAULTS configures a `corrupt` fault).
+            corrupt_cache_entry(self.cache, key, benchmark)
+            return run
 
     def run_suite(
         self,
@@ -417,21 +424,31 @@ class ExperimentRunner:
 
         began = time.perf_counter()
         try:
-            if remaining and jobs != 1 and len(remaining) > 1:
-                from .parallel import resolve_jobs, run_tasks_parallel
+            # The suite span is the parent of every run span below it —
+            # serial runs nest directly; worker span trees are grafted
+            # under it as their payloads merge.
+            with self.obs.tracer.span(
+                "suite",
+                config=config.name,
+                jobs=jobs,
+                benchmarks=len(remaining),
+                resumed=len(preloaded),
+            ):
+                if remaining and jobs != 1 and len(remaining) > 1:
+                    from .parallel import resolve_jobs, run_tasks_parallel
 
-                executed = run_tasks_parallel(
-                    self, remaining, jobs=resolve_jobs(jobs),
-                    progress=progress, policy=policy,
-                    on_run=_journal_run, on_failure=_journal_failure,
-                )
-            elif remaining:
-                executed = run_tasks_serial(
-                    self, remaining, policy=policy, progress=progress,
-                    on_run=_journal_run, on_failure=_journal_failure,
-                )
-            else:
-                executed = SuiteOutcome(())
+                    executed = run_tasks_parallel(
+                        self, remaining, jobs=resolve_jobs(jobs),
+                        progress=progress, policy=policy,
+                        on_run=_journal_run, on_failure=_journal_failure,
+                    )
+                elif remaining:
+                    executed = run_tasks_serial(
+                        self, remaining, policy=policy, progress=progress,
+                        on_run=_journal_run, on_failure=_journal_failure,
+                    )
+                else:
+                    executed = SuiteOutcome(())
         finally:
             self.timing.wall_seconds += time.perf_counter() - began
 

@@ -1,24 +1,34 @@
-"""Per-stage wall-clock instrumentation for the experiment harness.
+"""Per-stage wall-clock instrumentation — a shim over the obs tracer.
 
-Every :meth:`ExperimentRunner.run_benchmark` call records how long each
-pipeline stage took — trace build, BBV profiling, plan construction, the
-detailed baseline, and point simulation — plus whether the run was served
-from the disk cache.  The suite-level report aggregates those records so
-speedups (serial vs ``--jobs N``, scalar vs vectorized hot paths) are
-measured rather than asserted.
+Historically this module owned its own stopwatches.  It is now a thin
+compatibility layer over :mod:`repro.obs`: every run and stage is timed
+by a :class:`~repro.obs.spans.Span` on the runner's
+:class:`~repro.obs.context.ObsContext`, and the :class:`RunTiming` /
+:class:`SuiteTiming` records are *views* populated from those spans, so
+``--timing`` and ``--timing-json`` keep producing byte-compatible
+reports while ``--trace-out`` gets the full hierarchical trace from the
+same single measurement.
 
-The report is plain data: ``to_dict()`` is JSON-ready for ``--timing-json``
-and ``format_report()`` renders the CLI table.  Records survive the process
-boundary — parallel workers serialise their reports and the parent merges
-them — so ``suite --jobs N`` accounts for every stage of every worker.
+Stage entry doubles as the fault-injection hook site (see
+:mod:`repro.harness.faults`), and an exception escaping a stage is
+tagged with the stage name so failure records can report *where* a run
+died; a partially executed stage still books its elapsed time, and its
+span is marked ``status="error"``.
+
+Records survive the process boundary — parallel workers serialise their
+reports and the parent merges them — so ``suite --jobs N`` accounts for
+every stage of every worker.
 """
 
 from __future__ import annotations
 
-import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional
+
+from ..errors import InjectedFault
+from ..obs import ObsContext, STAGE_SECONDS, RUN_SECONDS, FAULTS_INJECTED
+from ..obs.spans import Span
 
 #: Stage names in pipeline order (reports render in this order; stages a
 #: run never entered are simply absent).
@@ -33,13 +43,23 @@ STAGE_ORDER = (
 
 @dataclass
 class RunTiming:
-    """Stage wall times and cache outcome of one (benchmark, config) run."""
+    """Stage wall times and cache outcome of one (benchmark, config) run.
+
+    The serialisable compatibility view of one run span: stage seconds
+    are booked from the stage spans' durations, ``total_seconds`` from
+    the run span's.  Records rebuilt via :meth:`from_dict` (worker
+    payloads, old reports) carry no span.
+    """
 
     benchmark: str
     config_name: str
     stages: Dict[str, float] = field(default_factory=dict)
     cache_hit: bool = False
     total_seconds: float = 0.0
+    #: The backing run span (absent on deserialised records).
+    span: Optional[Span] = field(
+        default=None, repr=False, compare=False,
+    )
 
     def add_stage(self, name: str, seconds: float) -> None:
         """Accumulate *seconds* into stage *name* (stages may re-enter)."""
@@ -70,47 +90,96 @@ class RunTiming:
 class SuiteTiming:
     """Collector of per-run timings plus suite-level wall clock.
 
-    One instance lives on each :class:`ExperimentRunner`; the parallel
-    driver merges the workers' collectors into the parent's.
+    One instance lives on each :class:`ExperimentRunner`, sharing the
+    runner's :class:`ObsContext` (a standalone ``SuiteTiming()`` creates
+    a private one); the parallel driver merges the workers' collectors
+    into the parent's.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, obs: Optional[ObsContext] = None) -> None:
+        self.obs = obs if obs is not None else ObsContext()
         self.runs: List[RunTiming] = []
         self.wall_seconds: float = 0.0
         self.jobs: int = 1
 
     # ------------------------------------------------------------------
     def start_run(self, benchmark: str, config_name: str) -> RunTiming:
-        """Open (and register) the record of one pipeline run."""
-        record = RunTiming(benchmark=benchmark, config_name=config_name)
+        """Open (and register) the record of one pipeline run.
+
+        Opens a ``run`` span under the tracer's current span (the suite
+        span, during a suite); close it via :meth:`finish_run`.
+        """
+        from . import faults
+
+        span = self.obs.tracer.start_span(
+            "run",
+            benchmark=benchmark,
+            config=config_name,
+            attempt=faults.current_attempt(),
+        )
+        record = RunTiming(
+            benchmark=benchmark, config_name=config_name, span=span
+        )
         self.runs.append(record)
         return record
+
+    def finish_run(
+        self, record: RunTiming, error: Optional[BaseException] = None
+    ) -> None:
+        """Close a record's run span and book its total wall clock."""
+        span = record.span
+        if span is None:
+            return
+        span.end(error=error)
+        span.set(cache_hit=record.cache_hit)
+        record.total_seconds = span.duration
+        self.obs.metrics.histogram(RUN_SECONDS).observe(span.duration)
+
+    @contextmanager
+    def run(self, benchmark: str, config_name: str) -> Iterator[RunTiming]:
+        """Context manager pairing :meth:`start_run`/:meth:`finish_run`."""
+        record = self.start_run(benchmark, config_name)
+        try:
+            yield record
+        except BaseException as error:
+            self.finish_run(record, error=error)
+            raise
+        else:
+            self.finish_run(record)
 
     @contextmanager
     def stage(self, record: Optional[RunTiming], name: str) -> Iterator[None]:
         """Time one stage of *record* (no-op when *record* is None).
 
-        Stage entry doubles as the fault-injection hook site (see
-        :mod:`repro.harness.faults`), and an exception escaping the stage
-        is tagged with the stage name so failure records can report
-        *where* a run died; a partially executed stage still books its
-        elapsed time.
+        Opens a stage span under the record's run span, carrying the
+        current attempt number — a retried run therefore yields one run
+        span (with fresh stage children) per attempt.
         """
         if record is None:
             yield
             return
         from . import faults
 
-        began = time.perf_counter()
+        span = self.obs.tracer.start_span(
+            name, parent=record.span, attempt=faults.current_attempt()
+        )
         try:
             faults.fire_stage(record.benchmark, name)
             yield
         except BaseException as error:
             if not hasattr(error, "_repro_stage"):
                 error._repro_stage = name
+            if isinstance(error, InjectedFault):
+                self.obs.metrics.counter(FAULTS_INJECTED, site="stage").inc()
+            span.end(error=error)
             raise
+        else:
+            span.end()
         finally:
-            record.add_stage(name, time.perf_counter() - began)
+            record.add_stage(name, span.duration)
+            self.obs.metrics.histogram(
+                STAGE_SECONDS, stage=name
+            ).observe(span.duration)
 
     def merge(self, other: "SuiteTiming") -> None:
         """Fold another collector's records into this one."""

@@ -1,0 +1,91 @@
+"""Observability: span tracing, metrics, exporters, run manifests.
+
+The measurement substrate under every performance claim the harness
+makes.  Four pieces:
+
+* :mod:`repro.obs.spans` — hierarchical span tracer (context-manager /
+  decorator API, monotonic clocks, parent/child nesting, cross-process
+  serialisation);
+* :mod:`repro.obs.metrics` — counters, gauges and fixed-bucket
+  histograms with multi-process merge semantics;
+* :mod:`repro.obs.export` — JSONL event log (``--trace-out``),
+  Prometheus text exposition (``--metrics-out``), and the human
+  ``repro obs report`` tree/table view;
+* :mod:`repro.obs.manifest` — per-invocation provenance records.
+
+See the "Observability" section of DESIGN.md for the span model and
+merge semantics.
+"""
+
+from .context import ObsContext
+from .export import (
+    TraceDump,
+    format_trace_report,
+    read_trace_jsonl,
+    render_prometheus,
+    trace_records,
+    write_prometheus,
+    write_trace_jsonl,
+)
+from .manifest import MANIFEST_VERSION, RunManifest
+from .metrics import (
+    CACHE_CORRUPT,
+    CACHE_HITS,
+    CACHE_MISSES,
+    DEFAULT_BUCKETS,
+    DETAILED_CALLS,
+    DETAILED_INSTRUCTIONS,
+    FAULTS_INJECTED,
+    FUNCTIONAL_INSTRUCTIONS,
+    POOL_RESPAWNS,
+    PROFILE_PASSES,
+    RUN_FAILURES,
+    RUN_RETRIES,
+    RUN_SECONDS,
+    RUN_TIMEOUTS,
+    RUNS_COMPLETED,
+    STAGE_SECONDS,
+    WORKER_CRASHES,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .spans import Span, Tracer, traced
+
+__all__ = [
+    "CACHE_CORRUPT",
+    "CACHE_HITS",
+    "CACHE_MISSES",
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "DETAILED_CALLS",
+    "DETAILED_INSTRUCTIONS",
+    "FAULTS_INJECTED",
+    "FUNCTIONAL_INSTRUCTIONS",
+    "Gauge",
+    "Histogram",
+    "MANIFEST_VERSION",
+    "MetricsRegistry",
+    "ObsContext",
+    "POOL_RESPAWNS",
+    "PROFILE_PASSES",
+    "RUN_FAILURES",
+    "RUN_RETRIES",
+    "RUN_SECONDS",
+    "RUN_TIMEOUTS",
+    "RUNS_COMPLETED",
+    "RunManifest",
+    "STAGE_SECONDS",
+    "Span",
+    "TraceDump",
+    "Tracer",
+    "WORKER_CRASHES",
+    "format_trace_report",
+    "read_trace_jsonl",
+    "render_prometheus",
+    "trace_records",
+    "traced",
+    "write_prometheus",
+    "write_trace_jsonl",
+]

@@ -1,0 +1,230 @@
+"""Hierarchical span tracing.
+
+A *span* is one timed operation — a whole suite, one pipeline run, one
+pipeline stage, one parallel drive — with a name, key/value attributes,
+a parent, and children.  Spans form trees; a :class:`Tracer` collects
+the roots.  Durations come from :func:`time.perf_counter` (monotonic),
+so they are immune to wall-clock steps; each span also records a
+``time.time()`` start timestamp so trees from different processes can be
+ordered coarsely in reports.
+
+The tracer is deliberately tiny and dependency-free:
+
+* ``with tracer.span("baseline", benchmark="gzip"):`` times a block and
+  nests it under the innermost active ``span()`` context;
+* :meth:`Tracer.start_span` opens a span *without* entering a context —
+  callers that cannot use ``with`` (the timing shim's run records) end
+  it explicitly via :meth:`Span.end`;
+* :func:`traced` wraps a function in a span;
+* span trees serialise to plain dicts (:meth:`Span.to_dict`) and back,
+  which is how parallel workers ship their trees to the suite driver —
+  :meth:`Tracer.merge_payload` re-attaches them under the driver's
+  current span, so a merged trace reads ``suite -> run -> stages`` no
+  matter which process executed the run.
+
+An exception escaping a span context marks the span ``status="error"``
+with the exception class recorded, and still propagates.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+#: Sentinel meaning "parent is the innermost active span context".
+CURRENT = object()
+
+
+class Span:
+    """One timed operation in a trace tree."""
+
+    __slots__ = (
+        "name", "attributes", "children", "started_at", "duration",
+        "status", "error", "_began",
+    )
+
+    def __init__(self, name: str, attributes: Optional[Dict[str, Any]] = None):
+        self.name = name
+        self.attributes: Dict[str, Any] = dict(attributes or {})
+        self.children: List["Span"] = []
+        #: Wall-clock start (``time.time()``), for cross-process ordering.
+        self.started_at = time.time()
+        #: Seconds from start to :meth:`end`; None while the span is open.
+        self.duration: Optional[float] = None
+        self.status = "ok"
+        self.error: Optional[str] = None
+        self._began = time.perf_counter()
+
+    # ------------------------------------------------------------------
+    @property
+    def ended(self) -> bool:
+        """Has :meth:`end` been called?"""
+        return self.duration is not None
+
+    def end(self, error: Optional[BaseException] = None) -> None:
+        """Close the span (idempotent); *error* marks it failed."""
+        if self.duration is None:
+            self.duration = time.perf_counter() - self._began
+        if error is not None:
+            self.status = "error"
+            self.error = type(error).__name__
+
+    def set(self, **attributes: Any) -> "Span":
+        """Attach (or overwrite) attributes; returns self for chaining."""
+        self.attributes.update(attributes)
+        return self
+
+    @property
+    def elapsed(self) -> float:
+        """Seconds booked so far: the duration, or time-since-start."""
+        if self.duration is not None:
+            return self.duration
+        return time.perf_counter() - self._began
+
+    def walk(self) -> Iterator["Span"]:
+        """This span and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = f"{self.duration:.6f}s" if self.ended else "open"
+        return f"Span({self.name!r}, {state}, {len(self.children)} children)"
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-serialisable nested form (children recurse)."""
+        payload: Dict[str, Any] = {
+            "name": self.name,
+            "started_at": self.started_at,
+            "duration": self.duration,
+            "status": self.status,
+        }
+        if self.error is not None:
+            payload["error"] = self.error
+        if self.attributes:
+            payload["attributes"] = dict(self.attributes)
+        if self.children:
+            payload["children"] = [c.to_dict() for c in self.children]
+        return payload
+
+    @staticmethod
+    def from_dict(payload: dict) -> "Span":
+        """Rebuild a (closed) span tree from :meth:`to_dict` output."""
+        span = Span(payload["name"], payload.get("attributes"))
+        span.started_at = payload.get("started_at", 0.0)
+        span.duration = payload.get("duration")
+        span.status = payload.get("status", "ok")
+        span.error = payload.get("error")
+        span.children = [
+            Span.from_dict(c) for c in payload.get("children", ())
+        ]
+        return span
+
+
+class Tracer:
+    """Collector of span trees for one process.
+
+    Thread-compatibility note: the active-context stack is plain instance
+    state.  The suite drivers are single-threaded per process (parallelism
+    is process-based), which is exactly the regime this supports.
+    """
+
+    def __init__(self) -> None:
+        self.roots: List[Span] = []
+        self._stack: List[Span] = []
+
+    # ------------------------------------------------------------------
+    def current(self) -> Optional[Span]:
+        """The innermost active ``span()`` context, if any."""
+        return self._stack[-1] if self._stack else None
+
+    def start_span(
+        self, name: str, parent: Any = CURRENT, **attributes: Any
+    ) -> Span:
+        """Open a span without entering a context (end it explicitly).
+
+        *parent* defaults to the innermost active context; pass ``None``
+        to force a root, or an explicit :class:`Span` to attach elsewhere
+        (the timing shim parents stage spans under their run span this
+        way).
+        """
+        if parent is CURRENT:
+            parent = self.current()
+        span = Span(name, attributes)
+        if parent is not None:
+            parent.children.append(span)
+        else:
+            self.roots.append(span)
+        return span
+
+    @contextmanager
+    def span(
+        self, name: str, parent: Any = CURRENT, **attributes: Any
+    ) -> Iterator[Span]:
+        """Context manager: time the block as a span, nest children."""
+        span = self.start_span(name, parent=parent, **attributes)
+        self._stack.append(span)
+        try:
+            yield span
+        except BaseException as error:
+            span.end(error=error)
+            raise
+        else:
+            span.end()
+        finally:
+            self._stack.pop()
+
+    # ------------------------------------------------------------------
+    def spans(self) -> Iterator[Span]:
+        """Every recorded span, depth-first across roots."""
+        for root in self.roots:
+            yield from root.walk()
+
+    def to_payload(self) -> List[dict]:
+        """Serialise all root trees (worker -> driver)."""
+        return [root.to_dict() for root in self.roots]
+
+    def merge_payload(
+        self, payload: Optional[List[dict]], parent: Any = CURRENT
+    ) -> None:
+        """Attach serialised root trees under *parent* (default: the
+        innermost active span, or as new roots outside any context)."""
+        if not payload:
+            return
+        if parent is CURRENT:
+            parent = self.current()
+        for item in payload:
+            span = Span.from_dict(item)
+            if parent is not None:
+                parent.children.append(span)
+            else:
+                self.roots.append(span)
+
+
+def traced(
+    tracer_of: Callable[..., Tracer], name: Optional[str] = None
+) -> Callable:
+    """Decorator: run the wrapped method inside a span.
+
+    *tracer_of* maps the call's ``self`` to its :class:`Tracer` (methods
+    carry their tracer on the instance; free functions can close over
+    one)::
+
+        @traced(lambda self: self.obs.tracer, "rebalance")
+        def rebalance(self): ...
+    """
+
+    def decorate(function: Callable) -> Callable:
+        span_name = name if name is not None else function.__name__
+
+        @functools.wraps(function)
+        def wrapper(self, *args: Any, **kwargs: Any):
+            with tracer_of(self).span(span_name):
+                return function(self, *args, **kwargs)
+
+        return wrapper
+
+    return decorate
