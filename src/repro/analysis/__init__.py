@@ -1,8 +1,27 @@
-"""Phase-analysis primitives: BBVs, projection, PCA, k-means, BIC."""
+"""Phase-analysis primitives: BBVs, projection, PCA, k-means, BIC.
 
+The hot kernels come in bit-identical ``vectorized`` / ``scalar``
+implementations selected through :mod:`repro.analysis.backend`; see
+that module for the selection API and the rounding argument, and
+``repro bench`` for the measured speedups.
+"""
+
+from .backend import (
+    BACKEND_ENV,
+    BACKENDS,
+    get_backend,
+    resolve_backend,
+    set_backend,
+    use_backend,
+)
 from .bbv import concat_signatures, normalize_rows, project_bbvs
 from .bic import bic_score, cluster_with_bic, select_k
-from .distance import earliest_member, nearest_to_centroid, squared_distances
+from .distance import (
+    assign_points,
+    earliest_member,
+    nearest_to_centroid,
+    squared_distances,
+)
 from .kmeans import KMeansResult, kmeans
 from .metrics import (
     METRIC_KINDS,
@@ -14,22 +33,29 @@ from .pca import PCA, first_component
 from .projection import RandomProjection
 
 __all__ = [
+    "BACKEND_ENV",
+    "BACKENDS",
     "KMeansResult",
     "METRIC_KINDS",
     "PCA",
     "RandomProjection",
+    "assign_points",
     "bic_score",
     "cluster_with_bic",
     "concat_signatures",
     "earliest_member",
     "first_component",
+    "get_backend",
     "kmeans",
     "loop_frequency_matrix",
     "metric_matrix",
     "nearest_to_centroid",
     "normalize_rows",
     "project_bbvs",
+    "resolve_backend",
     "select_k",
+    "set_backend",
     "squared_distances",
+    "use_backend",
     "working_set_matrix",
 ]

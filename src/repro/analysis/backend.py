@@ -1,0 +1,94 @@
+"""Kernel backend selection for the analysis layer.
+
+Every hot analysis kernel — k-means++ seeding, Lloyd iteration, fused
+distance/assignment, representative picking, BBV normalisation, random
+projection and the BIC log-likelihood — exists in two implementations:
+
+* ``vectorized`` (the default): batched numpy kernels, the production
+  path;
+* ``scalar``: straightforward per-point / per-cluster Python loops, the
+  reference the vectorized kernels are differentially tested against.
+
+The two are **bit-identical** by construction, not by luck: the
+vectorized kernels only use numpy operations whose per-element rounding
+provably matches the scalar loop —
+
+* elementwise arithmetic (identical by definition);
+* reductions over the innermost contiguous axis (``(...).sum(axis=-1)``),
+  which apply numpy's pairwise summation per output element exactly as
+  ``np.sum`` does on the equivalent 1-D slice;
+* sequential indexed accumulation (``np.add.at`` / ``np.bincount``),
+  which add entries in index order exactly as a Python loop does.
+
+BLAS-backed matrix products are deliberately **not** used in these
+kernels: ``A @ B`` blocks and fuses its dot products, so its elements do
+not bit-match per-row ``np.dot`` (verified empirically on this numpy
+build).  The pairwise-compatible formulations are still orders of
+magnitude faster than the scalar loops (see ``repro bench``).
+
+The active backend is process-global.  Select it with
+:func:`set_backend`, temporarily with :func:`use_backend`, or for a
+whole process via ``$REPRO_ANALYSIS_BACKEND``.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from ..errors import ClusteringError
+
+#: Environment variable overriding the default backend at import time.
+BACKEND_ENV = "REPRO_ANALYSIS_BACKEND"
+
+#: Recognised backend names, fastest first.
+BACKENDS = ("vectorized", "scalar")
+
+_active: Optional[str] = None
+
+
+def _validate(name: str) -> str:
+    if name not in BACKENDS:
+        raise ClusteringError(
+            f"unknown analysis backend {name!r} (choose from "
+            f"{', '.join(BACKENDS)})"
+        )
+    return name
+
+
+def get_backend() -> str:
+    """The active kernel backend name."""
+    global _active
+    if _active is None:
+        _active = _validate(os.environ.get(BACKEND_ENV, BACKENDS[0]))
+    return _active
+
+
+def set_backend(name: str) -> str:
+    """Select the kernel backend; returns the previously active one."""
+    global _active
+    previous = get_backend()
+    _active = _validate(name)
+    return previous
+
+
+def resolve_backend(name: Optional[str]) -> str:
+    """*name* itself if given (validated), else the active backend.
+
+    The kernels call this on their ``backend=`` keyword so an explicit
+    argument always wins over the process-global selection.
+    """
+    if name is None:
+        return get_backend()
+    return _validate(name)
+
+
+@contextmanager
+def use_backend(name: str) -> Iterator[str]:
+    """Context manager: run a block under *name*, then restore."""
+    previous = set_backend(name)
+    try:
+        yield name
+    finally:
+        set_backend(previous)

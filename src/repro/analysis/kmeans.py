@@ -3,15 +3,27 @@
 A from-scratch implementation so the library has no dependency beyond numpy;
 SimPoint's phase classification is plain Euclidean k-means over projected
 BBVs, run for several random seeds per k with the best inertia kept.
+
+Both hot kernels — the k-means++ seeding sweep and the batched Lloyd
+iteration — exist in a ``vectorized`` and a ``scalar`` implementation
+(:mod:`repro.analysis.backend`).  The pairs consume the identical random
+stream and are bit-identical on labels, centroids and inertia: the
+batched path only uses reductions whose rounding matches the scalar loop
+(innermost-axis pairwise sums, index-order ``np.add.at`` accumulation),
+never BLAS products.  ``tests/test_vectorized.py`` pins this across a
+seed x shape matrix; ``repro bench`` measures the resulting speedup.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
 
 import numpy as np
 
 from ..errors import ClusteringError
+from .backend import resolve_backend
+from .distance import assign_points
 
 
 @dataclass(frozen=True)
@@ -21,37 +33,101 @@ class KMeansResult:
     centroids: np.ndarray  # (k, d)
     labels: np.ndarray     # (n,)
     inertia: float
+    #: Assignment-step inertia per Lloyd iteration (final refresh last).
+    #: Exactly non-increasing step-to-step up to centroid-update rounding;
+    #: the property tests pin this.
+    inertia_history: Tuple[float, ...] = field(default=(), compare=False)
 
     @property
     def k(self) -> int:
         """Number of clusters."""
         return len(self.centroids)
 
+    @property
+    def n_iterations(self) -> int:
+        """Lloyd iterations executed (0 for an empty history)."""
+        return max(0, len(self.inertia_history) - 1)
+
     def cluster_sizes(self) -> np.ndarray:
         """Points per cluster."""
         return np.bincount(self.labels, minlength=self.k)
 
 
-def _kmeanspp_init(
-    data: np.ndarray, k: int, rng: np.random.Generator
+def _point_distances(
+    data: np.ndarray, center: np.ndarray, backend: str
 ) -> np.ndarray:
-    """k-means++ seeding."""
+    """Squared distance of every row of *data* to one *center*."""
+    if backend == "scalar":
+        return np.array(
+            [np.sum((data[i] - center) ** 2) for i in range(len(data))],
+            dtype=np.float64,
+        )
+    return ((data - center) ** 2).sum(axis=1)
+
+
+def _kmeanspp_init(
+    data: np.ndarray, k: int, rng: np.random.Generator, backend: str
+) -> np.ndarray:
+    """k-means++ seeding.
+
+    Both backends draw from *rng* identically (the seeding probabilities
+    they compute are bit-identical), so the chosen seeds match too.
+    """
     n = len(data)
     centroids = np.empty((k, data.shape[1]), dtype=np.float64)
     first = int(rng.integers(n))
     centroids[0] = data[first]
-    closest = np.sum((data - centroids[0]) ** 2, axis=1)
+    closest = _point_distances(data, centroids[0], backend)
     for i in range(1, k):
-        total = closest.sum()
+        total = float(np.sum(closest))
         if total <= 0:
             centroids[i:] = data[int(rng.integers(n))]
             break
         probabilities = closest / total
         choice = int(rng.choice(n, p=probabilities))
         centroids[i] = data[choice]
-        distance = np.sum((data - centroids[i]) ** 2, axis=1)
-        np.minimum(closest, distance, out=closest)
+        distance = _point_distances(data, centroids[i], backend)
+        if backend == "scalar":
+            for point in range(n):
+                if distance[point] < closest[point]:
+                    closest[point] = distance[point]
+        else:
+            np.minimum(closest, distance, out=closest)
     return centroids
+
+
+def _update_centroids(
+    data: np.ndarray, labels: np.ndarray, centroids: np.ndarray, backend: str
+) -> Tuple[np.ndarray, float]:
+    """One Lloyd update: member means (empty clusters keep their centroid).
+
+    Returns ``(new_centroids, shift)`` with *shift* the largest squared
+    centroid movement.  Member sums accumulate in point order on both
+    backends (``np.add.at`` adds sequentially in index order), so the
+    means — and everything downstream — are bit-identical.
+    """
+    k, d = centroids.shape
+    new_centroids = centroids.copy()
+    if backend == "scalar":
+        sums = np.zeros((k, d), dtype=np.float64)
+        counts = np.zeros(k, dtype=np.int64)
+        for i in range(len(data)):
+            sums[labels[i]] += data[i]
+            counts[labels[i]] += 1
+        shift = 0.0
+        for j in range(k):
+            if counts[j]:
+                candidate = sums[j] / counts[j]
+                shift = max(shift, float(np.sum((candidate - centroids[j]) ** 2)))
+                new_centroids[j] = candidate
+        return new_centroids, shift
+    sums = np.zeros((k, d), dtype=np.float64)
+    np.add.at(sums, labels, data)
+    counts = np.bincount(labels, minlength=k)
+    occupied = counts > 0
+    new_centroids[occupied] = sums[occupied] / counts[occupied, None]
+    moves = ((new_centroids - centroids) ** 2).sum(axis=1)
+    return new_centroids, float(moves.max(initial=0.0))
 
 
 def _lloyd(
@@ -59,32 +135,31 @@ def _lloyd(
     centroids: np.ndarray,
     max_iterations: int,
     tolerance: float,
+    backend: str,
 ) -> KMeansResult:
     """Lloyd iterations from the given initial centroids."""
-    k = len(centroids)
     labels = np.zeros(len(data), dtype=np.int64)
+    history = []
     for _ in range(max_iterations):
-        # squared distances via ||x||^2 - 2 x.c + ||c||^2
-        cross = data @ centroids.T
-        c_norm = np.einsum("ij,ij->i", centroids, centroids)
-        distances = c_norm[None, :] - 2.0 * cross
-        new_labels = np.argmin(distances, axis=1)
+        new_labels, distances = assign_points(data, centroids, backend=backend)
+        history.append(float(np.sum(distances)))
         moved = not np.array_equal(new_labels, labels)
         labels = new_labels
-        new_centroids = centroids.copy()
-        shift = 0.0
-        for j in range(k):
-            members = data[labels == j]
-            if len(members):
-                candidate = members.mean(axis=0)
-                shift = max(shift, float(np.sum((candidate - centroids[j]) ** 2)))
-                new_centroids[j] = candidate
-        centroids = new_centroids
+        centroids, shift = _update_centroids(data, labels, centroids, backend)
         if not moved and shift <= tolerance:
             break
-    deltas = data - centroids[labels]
-    inertia = float(np.einsum("ij,ij->", deltas, deltas))
-    return KMeansResult(centroids=centroids, labels=labels, inertia=inertia)
+    # Final refresh against the converged centroids, so the reported
+    # labels/inertia are consistent with the reported centroids even
+    # when the loop stopped at max_iterations.
+    labels, distances = assign_points(data, centroids, backend=backend)
+    inertia = float(np.sum(distances))
+    history.append(inertia)
+    return KMeansResult(
+        centroids=centroids,
+        labels=labels,
+        inertia=inertia,
+        inertia_history=tuple(history),
+    )
 
 
 def kmeans(
@@ -94,10 +169,13 @@ def kmeans(
     n_seeds: int = 5,
     max_iterations: int = 100,
     tolerance: float = 1e-10,
+    backend: Optional[str] = None,
 ) -> KMeansResult:
     """Cluster *data* into *k* clusters, keeping the best of *n_seeds* runs.
 
-    ``k`` is clamped to the number of distinct points available.
+    ``k`` is clamped to the number of points available.  ``backend``
+    overrides the process-global kernel selection (see
+    :mod:`repro.analysis.backend`).
     """
     data = np.asarray(data, dtype=np.float64)
     if data.ndim != 2 or len(data) == 0:
@@ -107,12 +185,13 @@ def kmeans(
     if n_seeds <= 0:
         raise ClusteringError("n_seeds must be positive")
     k = min(k, len(data))
+    chosen = resolve_backend(backend)
 
     best: KMeansResult | None = None
     for attempt in range(n_seeds):
         rng = np.random.default_rng(seed + attempt * 7919)
-        centroids = _kmeanspp_init(data, k, rng)
-        result = _lloyd(data, centroids, max_iterations, tolerance)
+        centroids = _kmeanspp_init(data, k, rng, chosen)
+        result = _lloyd(data, centroids, max_iterations, tolerance, chosen)
         if best is None or result.inertia < best.inertia:
             best = result
     assert best is not None

@@ -1,0 +1,180 @@
+"""The ``BENCH_phase_analysis.json`` artefact and baseline comparison.
+
+A :class:`BenchReport` is schema-versioned and stamped with the host
+fingerprint from :mod:`repro.obs.manifest`, so a recorded number always
+names the code, interpreter, numpy and platform that produced it.
+
+Comparison semantics — designed to be non-flaky in CI:
+
+* **ratio checks** (always on): a case's vectorized-over-scalar speedup
+  must stay above the ``min_speedup`` floor committed in the baseline,
+  and must not fall more than ``threshold`` (fractionally) below the
+  baseline's recorded speedup.  Ratios divide out the host's absolute
+  speed, so they hold on any machine.
+* **wall-clock checks** (opt-in, ``--wall``): a case's best vectorized
+  time must not exceed the baseline's by more than ``threshold``.  Only
+  meaningful when current and baseline ran on comparable hosts.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import HarnessError
+from ..obs.manifest import host_fingerprint
+from .runner import CaseResult
+
+#: Bump when the report layout changes incompatibly.
+BENCH_SCHEMA_VERSION = 1
+
+#: Default artefact file name (the repo's perf trajectory record).
+DEFAULT_REPORT_NAME = "BENCH_phase_analysis.json"
+
+
+@dataclass(frozen=True)
+class BenchReport:
+    """One bench invocation's results plus provenance."""
+
+    schema_version: int
+    host: Dict[str, str]
+    scale: float
+    cases: List[dict]
+    #: Per-case speedup floors asserted by :func:`compare_reports`
+    #: (committed in the baseline file; empty on freshly measured
+    #: reports unless carried over).
+    min_speedups: Dict[str, float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def build(
+        results: Sequence[CaseResult],
+        scale: float,
+        min_speedups: Optional[Dict[str, float]] = None,
+    ) -> "BenchReport":
+        """Assemble a report from runner output (stamps the host)."""
+        return BenchReport(
+            schema_version=BENCH_SCHEMA_VERSION,
+            host=host_fingerprint(),
+            scale=scale,
+            cases=[result.to_dict() for result in results],
+            min_speedups=dict(min_speedups or {}),
+        )
+
+    # ------------------------------------------------------------------
+    def case(self, name: str) -> Optional[dict]:
+        """The named case's payload, or None."""
+        for case in self.cases:
+            if case["name"] == name:
+                return case
+        return None
+
+    def speedup(self, name: str) -> Optional[float]:
+        """The named case's speedup ratio, or None."""
+        case = self.case(name)
+        return case.get("speedup") if case else None
+
+    def best_seconds(self, name: str, backend: str = "vectorized") -> Optional[float]:
+        """The named case's best time under *backend*, or None."""
+        case = self.case(name)
+        if not case:
+            return None
+        timing = case.get("timings", {}).get(backend)
+        return timing.get("best_seconds") if timing else None
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "schema_version": self.schema_version,
+            "host": dict(self.host),
+            "scale": self.scale,
+            "min_speedups": dict(self.min_speedups),
+            "cases": list(self.cases),
+        }
+
+    def write(self, path) -> Path:
+        path = Path(path)
+        path.write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+        return path
+
+
+def load_report(path) -> BenchReport:
+    """Read a report; unknown schema versions are rejected loudly."""
+    path = Path(path)
+    if not path.exists():
+        raise HarnessError(f"bench baseline not found: {path}")
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as error:
+        raise HarnessError(f"unreadable bench report {path}: {error}")
+    version = payload.get("schema_version")
+    if version != BENCH_SCHEMA_VERSION:
+        raise HarnessError(
+            f"bench report {path} has schema version {version!r}; this "
+            f"build reads version {BENCH_SCHEMA_VERSION}"
+        )
+    return BenchReport(
+        schema_version=version,
+        host=dict(payload.get("host", {})),
+        scale=float(payload.get("scale", 0.0)),
+        cases=list(payload.get("cases", [])),
+        min_speedups={
+            str(k): float(v)
+            for k, v in payload.get("min_speedups", {}).items()
+        },
+    )
+
+
+def compare_reports(
+    current: BenchReport,
+    baseline: BenchReport,
+    threshold: float = 0.5,
+    wall: bool = False,
+) -> List[str]:
+    """Regressions of *current* against *baseline* (empty list = clean).
+
+    *threshold* is the tolerated fractional slack on both the relative
+    ratio check and the opt-in wall-clock check; the ``min_speedup``
+    floors are absolute and get no slack.
+    """
+    if threshold <= 0:
+        raise HarnessError(f"threshold must be > 0, got {threshold}")
+    regressions: List[str] = []
+    for base_case in baseline.cases:
+        name = base_case["name"]
+        case = current.case(name)
+        if case is None:
+            regressions.append(f"{name}: present in baseline but not run")
+            continue
+        speedup = case.get("speedup")
+        floor = baseline.min_speedups.get(name)
+        if floor is not None:
+            if speedup is None:
+                regressions.append(
+                    f"{name}: baseline demands >= {floor:.2f}x over the "
+                    f"scalar path but no ratio was measured"
+                )
+            elif speedup < floor:
+                regressions.append(
+                    f"{name}: vectorized path only {speedup:.2f}x over "
+                    f"scalar (floor {floor:.2f}x)"
+                )
+        base_speedup = base_case.get("speedup")
+        if speedup is not None and base_speedup is not None:
+            if speedup < base_speedup * (1.0 - threshold):
+                regressions.append(
+                    f"{name}: speedup {speedup:.2f}x fell more than "
+                    f"{threshold:.0%} below baseline {base_speedup:.2f}x"
+                )
+        if wall:
+            seconds = current.best_seconds(name)
+            base_seconds = baseline.best_seconds(name)
+            if seconds is not None and base_seconds is not None:
+                if seconds > base_seconds * (1.0 + threshold):
+                    regressions.append(
+                        f"{name}: best {seconds:.6f}s exceeds baseline "
+                        f"{base_seconds:.6f}s by more than {threshold:.0%}"
+                    )
+    return regressions

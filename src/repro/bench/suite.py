@@ -1,0 +1,185 @@
+"""The declarative microbenchmark suite.
+
+Each :class:`BenchCase` names a setup (run once, outside timing), a
+payload-consuming kernel, and the analysis backends it is measured
+under.  Cases that exercise the backend-switchable analysis kernels run
+under both ``vectorized`` and ``scalar`` so the runner can report their
+speedup ratio — the host-portable number CI asserts on.  Cases whose
+cost lives outside the analysis layer (the detailed-timing segment
+loop) run vectorized-only and contribute wall-clock trend data.
+
+Kernel-shaped cases (k-means sweep, signature build) use fixed synthetic
+inputs modelled on SimPoint's real shapes — projected 15-dim BBVs, 4
+temporal sub-chunks per signature — so their cost is independent of
+``--scale``; pipeline-shaped cases (two-level planning, detailed timing)
+run on the real gzip trace at the requested scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Any, Callable, List, Optional, Tuple
+
+import numpy as np
+
+from ..analysis import cluster_with_bic, concat_signatures, project_bbvs
+from ..analysis.backend import use_backend
+from ..config import CONFIG_A, DEFAULT_SAMPLING, SamplingConfig
+from ..detailed.timing import TimingSimulator
+from ..engine.trace import Trace, build_trace
+from ..errors import HarnessError
+from ..sampling.coasts import Coasts
+from ..sampling.multilevel import MultiLevelSampler
+from ..workloads.registry import load_workload
+
+#: Default workload scale for the trace-backed cases (``repro bench
+#: --scale``); small enough for CI, large enough to dominate overheads.
+DEFAULT_BENCH_SCALE = 0.25
+
+#: The benchmark every trace-backed case profiles.
+BENCH_WORKLOAD = "gzip"
+
+
+@dataclass(frozen=True)
+class BenchCase:
+    """One microbenchmark: setup once, run repeatedly per backend."""
+
+    name: str
+    description: str
+    #: Backends the timed kernel is measured under; a ("vectorized",)
+    #: case has no scalar reference (its cost is outside the analysis
+    #: layer) and therefore no speedup ratio.
+    backends: Tuple[str, ...]
+    setup: Callable[[float], Any]
+    run: Callable[[Any, str], Any]
+
+
+@lru_cache(maxsize=2)
+def _bench_trace(scale: float) -> Trace:
+    return build_trace(load_workload(BENCH_WORKLOAD, scale=scale))
+
+
+def _bench_sampling(trace: Trace) -> SamplingConfig:
+    """The default sampling knobs, with the fine grid capped for speed.
+
+    At small bench scales the paper-default fine interval can produce a
+    huge interval count; cap the grid at ~2000 intervals so the bench
+    measures kernel throughput, not an unrepresentative input size.
+    """
+    fine = max(
+        DEFAULT_SAMPLING.fine_interval_size,
+        trace.total_instructions // 2000,
+    )
+    return SamplingConfig(
+        fine_interval_size=fine,
+        resample_threshold=fine * DEFAULT_SAMPLING.fine_kmax,
+        kmeans_seeds=2,
+    )
+
+
+# ----------------------------------------------------------------------
+# kmeans sweep: the BIC model-selection sweep over projected signatures,
+# SimPoint's clustering hot loop.
+
+def _setup_kmeans(scale: float) -> np.ndarray:
+    rng = np.random.default_rng(1234)
+    raw = rng.random((300, 256))
+    return project_bbvs(raw, DEFAULT_SAMPLING.projection_dim, seed=0)
+
+
+def _run_kmeans(payload: np.ndarray, backend: str) -> None:
+    cluster_with_bic(payload, kmax=8, seed=0, n_seeds=2, backend=backend)
+
+
+# ----------------------------------------------------------------------
+# signature build: COASTS's normalise-project-concatenate pipeline.
+
+def _setup_signatures(scale: float) -> np.ndarray:
+    rng = np.random.default_rng(99)
+    return rng.random((64, DEFAULT_SAMPLING.signature_segments, 256))
+
+
+def _run_signatures(payload: np.ndarray, backend: str) -> None:
+    concat_signatures(
+        payload, dim=DEFAULT_SAMPLING.projection_dim, seed=0, backend=backend
+    )
+
+
+# ----------------------------------------------------------------------
+# two-level plan: COASTS coarse clustering plus the multi-level
+# re-sampling pass — the paper's Section IV pipeline end to end.
+
+def _setup_two_level(scale: float) -> Trace:
+    return _bench_trace(scale)
+
+
+def _run_two_level(trace: Trace, backend: str) -> None:
+    sampling = _bench_sampling(trace)
+    with use_backend(backend):
+        coarse = Coasts(sampling).sample(trace, benchmark=BENCH_WORKLOAD)
+        MultiLevelSampler(sampling).sample(
+            trace, benchmark=BENCH_WORKLOAD, coarse_plan=coarse
+        )
+
+
+# ----------------------------------------------------------------------
+# detailed timing: the block-level OoO segment loop over the whole
+# trace (the "original sim-outorder" cost every speedup is quoted
+# against).  Backend-independent: measured vectorized-only.
+
+def _setup_detailed(scale: float) -> Trace:
+    return _bench_trace(scale)
+
+
+def _run_detailed(trace: Trace, backend: str) -> None:
+    TimingSimulator(trace, CONFIG_A).simulate_full()
+
+
+#: The suite, in reporting order.
+BENCH_SUITE: Tuple[BenchCase, ...] = (
+    BenchCase(
+        name="kmeans_sweep",
+        description="BIC k-sweep over 300x15 projected BBVs (kmax 8)",
+        backends=("vectorized", "scalar"),
+        setup=_setup_kmeans,
+        run=_run_kmeans,
+    ),
+    BenchCase(
+        name="signature_build",
+        description="COASTS signature build, 64 instances x 4 chunks x 256 blocks",
+        backends=("vectorized", "scalar"),
+        setup=_setup_signatures,
+        run=_run_signatures,
+    ),
+    BenchCase(
+        name="two_level_plan",
+        description="coarse + fine two-level sampling plan on gzip",
+        backends=("vectorized", "scalar"),
+        setup=_setup_two_level,
+        run=_run_two_level,
+    ),
+    BenchCase(
+        name="detailed_timing",
+        description="detailed timing segment loop, full gzip trace",
+        backends=("vectorized",),
+        setup=_setup_detailed,
+        run=_run_detailed,
+    ),
+)
+
+
+def select_cases(
+    pattern: Optional[str] = None,
+    suite: Tuple[BenchCase, ...] = BENCH_SUITE,
+) -> List[BenchCase]:
+    """Cases whose name contains *pattern* (all of them when None)."""
+    if pattern is None:
+        return list(suite)
+    chosen = [case for case in suite if pattern in case.name]
+    if not chosen:
+        raise HarnessError(
+            f"no bench case matches {pattern!r} (have "
+            f"{', '.join(case.name for case in suite)})"
+        )
+    return chosen

@@ -8,6 +8,8 @@ Three subcommands drive the library without writing Python::
     python -m repro experiment fig3           # regenerate a paper table/figure
     python -m repro suite --trace-out t.jsonl # + span/metric event log
     python -m repro obs report t.jsonl        # render a recorded trace
+    python -m repro bench                     # analysis microbenchmarks
+    python -m repro bench --compare benchmarks/BENCH_baseline.json
 
 Heavy artefacts are disk-cached exactly as in the benches (the
 ``.repro_cache`` directory, or ``$REPRO_CACHE_DIR``); the cache is safe to
@@ -24,9 +26,19 @@ from pathlib import Path
 from typing import List, Optional
 
 from . import __version__
+from .bench import (
+    DEFAULT_BENCH_SCALE,
+    DEFAULT_REPORT_NAME,
+    BenchReport,
+    compare_reports,
+    load_report,
+    run_bench,
+    select_cases,
+)
 from .config import CONFIG_A, CONFIG_B, MachineConfig
 from .errors import ConfigError, FaultSpecError, HarnessError, ReproError
 from .obs import (
+    ObsContext,
     RunManifest,
     format_trace_report,
     read_trace_jsonl,
@@ -299,6 +311,74 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return _report_failures(runner)
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Run the microbenchmark suite; write and optionally compare."""
+    cases = select_cases(args.filter)
+    if args.list:
+        for case in cases:
+            print(f"{case.name}: {case.description} "
+                  f"[{', '.join(case.backends)}]")
+        return 0
+
+    baseline = None
+    if args.compare is not None:
+        # Load (and validate) the baseline before spending minutes
+        # measuring, so a bad path fails fast with exit code 2.
+        if args.threshold <= 0:
+            raise HarnessError(
+                f"threshold must be > 0, got {args.threshold}"
+            )
+        baseline = load_report(args.compare)
+
+    obs = ObsContext()
+    results = run_bench(
+        cases, scale=args.scale, reps=args.reps, warmup=args.warmup, obs=obs
+    )
+
+    rows = []
+    for result in results:
+        vectorized = result.timings.get("vectorized")
+        scalar = result.timings.get("scalar")
+        rows.append([
+            result.name,
+            f"{1e3 * vectorized.best:.3f}" if vectorized else "-",
+            f"{1e3 * vectorized.mean:.3f}" if vectorized else "-",
+            f"{1e3 * scalar.best:.3f}" if scalar else "-",
+            f"{result.speedup:.2f}x" if result.speedup is not None else "-",
+        ])
+    print(format_table(
+        ["case", "vec best ms", "vec mean ms", "scalar best ms", "speedup"],
+        rows,
+        title=f"repro bench (scale {args.scale}, {args.reps} reps, "
+              f"{args.warmup} warmup)",
+    ))
+
+    report = BenchReport.build(
+        results, scale=args.scale,
+        min_speedups=baseline.min_speedups if baseline is not None else None,
+    )
+    report.write(args.out)
+    print(f"[bench report written to {args.out}]")
+    if args.trace_out:
+        count = write_trace_jsonl(
+            args.trace_out, obs.tracer, obs.metrics, report.to_dict()
+        )
+        print(f"[trace: {count} records written to {args.trace_out}]")
+
+    if baseline is not None:
+        regressions = compare_reports(
+            report, baseline, threshold=args.threshold, wall=args.wall
+        )
+        if regressions:
+            print(f"{len(regressions)} perf regression(s) vs "
+                  f"{args.compare}:", file=sys.stderr)
+            for regression in regressions:
+                print(f"  {regression}", file=sys.stderr)
+            return EXIT_PARTIAL
+        print(f"no perf regressions vs {args.compare}")
+    return 0
+
+
 def _cmd_obs_report(args: argparse.Namespace) -> int:
     dump = read_trace_jsonl(args.trace)
     print(format_trace_report(dump, max_depth=args.depth))
@@ -388,6 +468,47 @@ def build_parser() -> argparse.ArgumentParser:
     add_fault(experiment)
     add_common(experiment)
     experiment.set_defaults(func=_cmd_experiment)
+
+    bench = sub.add_parser(
+        "bench",
+        help="run the analysis microbenchmark suite and record "
+             "BENCH_phase_analysis.json",
+    )
+    bench.add_argument("--reps", type=int, default=5, metavar="N",
+                       help="measured repetitions per case and backend "
+                            "(default: 5)")
+    bench.add_argument("--warmup", type=int, default=1, metavar="N",
+                       help="unmeasured warm-up runs per case and backend "
+                            "(default: 1)")
+    bench.add_argument("--filter", default=None, metavar="SUBSTR",
+                       help="only cases whose name contains SUBSTR")
+    bench.add_argument("--list", action="store_true",
+                       help="list the matching cases and exit")
+    # The bench suite has its own scale default: trace-backed cases use
+    # a reduced gzip workload so a full run stays interactive.
+    bench.add_argument("--scale", type=float, default=DEFAULT_BENCH_SCALE,
+                       help="workload scale for the trace-backed cases "
+                            f"(default: {DEFAULT_BENCH_SCALE})")
+    bench.add_argument("--out", metavar="FILE", default=DEFAULT_REPORT_NAME,
+                       help=f"report file (default: {DEFAULT_REPORT_NAME})")
+    bench.add_argument("--compare", metavar="BASELINE", default=None,
+                       help="compare against a recorded baseline report; "
+                            "regressions exit 1")
+    bench.add_argument("--threshold", type=float, default=0.5,
+                       metavar="FRACTION",
+                       help="tolerated fractional slack for --compare; "
+                            "applies to the relative ratio check and "
+                            "--wall, never to the min_speedup floors "
+                            "(default: 0.5)")
+    bench.add_argument("--wall", action="store_true",
+                       help="also compare wall-clock times (same-host "
+                            "baselines only; ratio checks are always on)")
+    bench.add_argument("--trace-out", metavar="FILE", default=None,
+                       help="write the bench span/metric log as JSONL")
+    bench.add_argument("-v", "--verbose", action="count",
+                       default=argparse.SUPPRESS,
+                       help="per-case progress at INFO level")
+    bench.set_defaults(func=_cmd_bench)
 
     obs = sub.add_parser("obs", help="inspect observability artefacts")
     obs_sub = obs.add_subparsers(dest="obs_command", required=True)

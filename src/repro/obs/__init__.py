@@ -27,7 +27,7 @@ from .export import (
     write_prometheus,
     write_trace_jsonl,
 )
-from .manifest import MANIFEST_VERSION, RunManifest
+from .manifest import MANIFEST_VERSION, RunManifest, host_fingerprint
 from .metrics import (
     CACHE_CORRUPT,
     CACHE_HITS,
@@ -82,6 +82,7 @@ __all__ = [
     "Tracer",
     "WORKER_CRASHES",
     "format_trace_report",
+    "host_fingerprint",
     "read_trace_jsonl",
     "render_prometheus",
     "trace_records",

@@ -42,6 +42,26 @@ def _digest(text: str) -> str:
     return hashlib.sha256(text.encode()).hexdigest()[:16]
 
 
+def host_fingerprint() -> Dict[str, str]:
+    """Tool-version and platform facts shared by every provenance record.
+
+    Used both by :meth:`RunManifest.collect` and by the ``repro bench``
+    report, so a benchmark result always names the code and host that
+    produced it.
+    """
+    import numpy
+
+    from .. import __version__
+
+    return {
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "repro_version": __version__,
+        "python_version": sys.version.split()[0],
+        "numpy_version": numpy.__version__,
+        "platform": platform.platform(),
+    }
+
+
 @dataclass
 class RunManifest:
     """Provenance record of one ``run``/``suite``/``experiment`` call."""
@@ -73,9 +93,6 @@ class RunManifest:
         outcome: Optional["SuiteOutcome"] = None,
     ) -> "RunManifest":
         """Snapshot *runner*'s invocation (call after the work finished)."""
-        import numpy
-
-        from .. import __version__
         from ..harness.faults import FAULTS_ENV
         from ..workloads.registry import get_spec
 
@@ -97,12 +114,13 @@ class RunManifest:
             "cache_hits": runner.timing.cache_hits,
             "cache_misses": runner.timing.cache_misses,
         }
+        host = host_fingerprint()
         return RunManifest(
-            created=time.strftime("%Y-%m-%dT%H:%M:%S%z"),
-            repro_version=__version__,
-            python_version=sys.version.split()[0],
-            numpy_version=numpy.__version__,
-            platform=platform.platform(),
+            created=host["created"],
+            repro_version=host["repro_version"],
+            python_version=host["python_version"],
+            numpy_version=host["numpy_version"],
+            platform=host["platform"],
             config_name=config.name if config is not None else "",
             config_digest=_digest(repr(config)) if config is not None else "",
             sampling_digest=_digest(

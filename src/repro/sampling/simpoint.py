@@ -23,7 +23,7 @@ import numpy as np
 
 from ..analysis.bbv import normalize_rows
 from ..analysis.bic import cluster_with_bic
-from ..analysis.distance import nearest_to_centroid, squared_distances
+from ..analysis.distance import assign_points, nearest_to_centroid
 from ..analysis.metrics import metric_matrix
 from ..analysis.projection import RandomProjection
 from ..config import DEFAULT_SAMPLING, SamplingConfig
@@ -145,8 +145,7 @@ class SimPoint:
             threshold=self.config.bic_threshold,
         )
         centroids = result.centroids
-        distances = squared_distances(features, centroids)
-        labels = np.argmin(distances, axis=1)
+        labels, _ = assign_points(features, centroids)
         return labels, centroids, result.k
 
     @staticmethod

@@ -90,6 +90,21 @@ class TestExitCodes:
 
         assert exit_code_for(OtherLibraryError("x")) == 70
 
+    def test_unknown_subcommand_exits_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["frobnicate"])
+        assert excinfo.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_negative_jobs_exits_cleanly(self, capsys, tmp_path,
+                                         monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        code = main(["suite", "--quick", "--jobs", "-1"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "error:" in err and "jobs" in err
+        assert "Traceback" not in err
+
     def test_invalid_policy_exits_cleanly(self, capsys):
         code = main(["suite", "--quick", "--retries", "-3"])
         err = capsys.readouterr().err

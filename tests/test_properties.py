@@ -136,6 +136,79 @@ class TestClusteringProperties:
         assert score_small > score_large
 
 
+class TestKMeansInvariants:
+    """Lloyd-iteration invariants over the backend-switchable kernels."""
+
+    @given(
+        n=st.integers(2, 50),
+        d=st.integers(1, 8),
+        k=st.integers(1, 8),
+        seed=st.integers(0, 20),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_labels_within_cluster_range(self, n, d, k, seed):
+        data = np.random.default_rng(seed).random((n, d))
+        result = kmeans(data, k, seed=seed, n_seeds=1)
+        assert result.labels.min() >= 0
+        assert result.labels.max() < result.k
+
+    @given(
+        n=st.integers(3, 60),
+        d=st.integers(1, 6),
+        k=st.integers(1, 6),
+        seed=st.integers(0, 20),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_inertia_monotone_non_increasing(self, n, d, k, seed):
+        data = np.random.default_rng(seed).random((n, d))
+        result = kmeans(data, k, seed=seed, n_seeds=1)
+        history = result.inertia_history
+        assert len(history) == result.n_iterations + 1
+        assert history[-1] == result.inertia
+        # Each assignment + update step can only lower the objective;
+        # allow a whisker of slack for centroid-update rounding.
+        for earlier, later in zip(history, history[1:]):
+            assert later <= earlier * (1.0 + 1e-9) + 1e-12
+
+    @given(
+        n=st.integers(1, 60),
+        k=st.integers(1, 10),
+        seed=st.integers(0, 20),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_cluster_sizes_partition_points(self, n, k, seed):
+        data = np.random.default_rng(seed).random((n, 3))
+        result = kmeans(data, k, seed=seed, n_seeds=1)
+        sizes = result.cluster_sizes()
+        assert sizes.sum() == n
+        assert len(sizes) == result.k
+
+    @given(
+        n=st.integers(2, 30),
+        distinct=st.integers(1, 3),
+        k=st.integers(1, 8),
+        seed=st.integers(0, 20),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_degenerate_inputs_yield_finite_centroids(
+            self, n, distinct, k, seed):
+        # Fewer distinct points than clusters: k-means++ runs out of
+        # positive-distance candidates and must still seed cleanly.
+        rng = np.random.default_rng(seed)
+        base = rng.random((distinct, 4))
+        data = base[rng.integers(0, distinct, size=n)]
+        result = kmeans(data, k, seed=seed, n_seeds=1)
+        assert np.isfinite(result.centroids).all()
+        assert np.isfinite(result.inertia)
+        assert result.inertia >= 0.0
+
+    def test_identical_points_zero_inertia(self):
+        data = np.full((12, 5), 3.5)
+        result = kmeans(data, 4, seed=0)
+        assert result.inertia == 0.0
+        assert not np.isnan(result.centroids).any()
+
+
 class TestPlanProperties:
     @given(
         starts=st.lists(st.integers(0, 900), min_size=1, max_size=8,
