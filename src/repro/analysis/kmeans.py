@@ -53,6 +53,90 @@ class KMeansResult:
         return np.bincount(self.labels, minlength=self.k)
 
 
+@dataclass(frozen=True)
+class ClusterQuality:
+    """Per-cluster quality statistics of one clustering.
+
+    The SimPoint-style predictors of sampling error: how tight each
+    cluster is (intra-cluster variance), how well separated it is from
+    the others (simplified, centroid-based silhouette — distances to
+    centroids instead of all-pairs member distances, so it stays O(n·k)),
+    and how far each member sits from its own centroid (used to flag
+    representatives that are poor stand-ins for their phase).
+    """
+
+    sizes: np.ndarray              # (k,) members per cluster
+    variances: np.ndarray          # (k,) mean squared member->centroid dist
+    silhouettes: np.ndarray        # (k,) mean member silhouette (0 if k == 1)
+    member_distances: np.ndarray   # (n,) Euclidean dist to own centroid
+    member_silhouettes: np.ndarray  # (n,) simplified silhouette per member
+
+    @property
+    def k(self) -> int:
+        """Number of clusters."""
+        return len(self.sizes)
+
+    @property
+    def mean_silhouette(self) -> float:
+        """Whole-clustering mean silhouette."""
+        return float(self.member_silhouettes.mean())
+
+
+def cluster_quality(
+    data: np.ndarray, result: KMeansResult, backend: Optional[str] = None
+) -> ClusterQuality:
+    """Quality statistics of *result* on *data*.
+
+    *data* must be the points the labels refer to (``result.labels``
+    indexes its rows).  The simplified silhouette of point ``i`` is
+    ``(b_i - a_i) / max(a_i, b_i)`` with ``a_i`` the distance to its own
+    centroid and ``b_i`` the distance to the nearest other centroid;
+    with a single cluster every silhouette is 0 by convention.
+    """
+    from .distance import squared_distances
+
+    data = np.asarray(data, dtype=np.float64)
+    labels = result.labels
+    if len(data) != len(labels):
+        raise ClusteringError(
+            f"data rows ({len(data)}) do not match labels ({len(labels)})"
+        )
+    k = result.k
+    squared = squared_distances(data, result.centroids, backend=backend)
+    own_sq = squared[np.arange(len(data)), labels]
+    member_distances = np.sqrt(own_sq)
+
+    sizes = np.bincount(labels, minlength=k)
+    variances = np.zeros(k, dtype=np.float64)
+    np.add.at(variances, labels, own_sq)
+    occupied = sizes > 0
+    variances[occupied] /= sizes[occupied]
+
+    if k == 1:
+        member_silhouettes = np.zeros(len(data), dtype=np.float64)
+    else:
+        others = np.sqrt(squared)
+        others[np.arange(len(data)), labels] = np.inf
+        nearest_other = others.min(axis=1)
+        denominator = np.maximum(member_distances, nearest_other)
+        member_silhouettes = np.where(
+            denominator > 0,
+            (nearest_other - member_distances)
+            / np.where(denominator > 0, denominator, 1.0),
+            0.0,
+        )
+    silhouettes = np.zeros(k, dtype=np.float64)
+    np.add.at(silhouettes, labels, member_silhouettes)
+    silhouettes[occupied] /= sizes[occupied]
+    return ClusterQuality(
+        sizes=sizes,
+        variances=variances,
+        silhouettes=silhouettes,
+        member_distances=member_distances,
+        member_silhouettes=member_silhouettes,
+    )
+
+
 def _point_distances(
     data: np.ndarray, center: np.ndarray, backend: str
 ) -> np.ndarray:

@@ -8,8 +8,16 @@ Three subcommands drive the library without writing Python::
     python -m repro experiment fig3           # regenerate a paper table/figure
     python -m repro suite --trace-out t.jsonl # + span/metric event log
     python -m repro obs report t.jsonl        # render a recorded trace
+    python -m repro obs diag t.jsonl          # per-phase error budgets
+    python -m repro obs history               # past runs (.repro_history/)
+    python -m repro obs diff prev last        # regression check, exit 1
     python -m repro bench                     # analysis microbenchmarks
     python -m repro bench --compare benchmarks/BENCH_baseline.json
+
+Every ``run``/``suite``/``bench`` invocation appends one record to the
+cross-run history (``.repro_history/``, or ``$REPRO_HISTORY_DIR``;
+``--no-history`` opts out), which is what ``obs history``/``obs diff``
+read.
 
 Heavy artefacts are disk-cached exactly as in the benches (the
 ``.repro_cache`` directory, or ``$REPRO_CACHE_DIR``); the cache is safe to
@@ -36,12 +44,26 @@ from .bench import (
     select_cases,
 )
 from .config import CONFIG_A, CONFIG_B, MachineConfig
-from .errors import ConfigError, FaultSpecError, HarnessError, ReproError
+from .errors import (
+    ConfigError,
+    FaultSpecError,
+    HarnessError,
+    ObservabilityError,
+    ReproError,
+)
 from .obs import (
     ObsContext,
+    RunHistory,
     RunManifest,
+    diag_views,
+    diff_records,
+    format_diag_report,
+    format_diff,
+    format_history,
     format_trace_report,
     read_trace_jsonl,
+    record_from_bench,
+    record_from_manifest,
     write_prometheus,
     write_trace_jsonl,
 )
@@ -67,12 +89,14 @@ EXPERIMENTS = ("fig1", "fig3", "fig4", "table2", "table3", "motivation")
 EXIT_PARTIAL = 1
 
 #: ``ReproError``-to-exit-code mapping: user/configuration mistakes exit
-#: 2 (argparse's own convention), any other library error 70
-#: (EX_SOFTWARE).  First match wins.
+#: 2 (argparse's own convention), data errors (corrupt trace/history
+#: files) exit 1, any other library error 70 (EX_SOFTWARE).  First match
+#: wins.
 ERROR_EXIT_CODES = (
     (ConfigError, 2),
     (HarnessError, 2),
     (FaultSpecError, 2),
+    (ObservabilityError, 1),
     (ReproError, 70),
 )
 
@@ -152,6 +176,40 @@ def _emit_obs(
         print(f"[manifest written to {manifest_out}]")
 
 
+def _history_store(args: argparse.Namespace) -> RunHistory:
+    """The history store the flags point at (default: ``.repro_history``)."""
+    directory = getattr(args, "history_dir", None)
+    return RunHistory(Path(directory) if directory else None)
+
+
+def _append_history(
+    runner: ExperimentRunner,
+    args: argparse.Namespace,
+    kind: str,
+    config: Optional[MachineConfig] = None,
+    names: Optional[List[str]] = None,
+    runs=(),
+    outcome=None,
+) -> None:
+    """Append this invocation's record to the cross-run history.
+
+    A failed append (read-only checkout, full disk) warns instead of
+    failing the run — the history is a byproduct, not the result.
+    """
+    if getattr(args, "no_history", False):
+        return
+    manifest = RunManifest.collect(
+        runner, config=config, names=names or [], outcome=outcome
+    )
+    record = record_from_manifest(
+        manifest, runs=runs, kind=kind, registry=runner.obs.metrics
+    )
+    try:
+        _history_store(args).append(record)
+    except OSError as error:
+        print(f"warning: history not recorded: {error}", file=sys.stderr)
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     runner = ExperimentRunner(workload_scale=args.scale)
     config = _config_of(args.config)
@@ -177,6 +235,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
     ))
     _emit_timing(runner, args)
     _emit_obs(runner, args, config=config, names=[args.benchmark])
+    _append_history(
+        runner, args, kind="run", config=config, names=[args.benchmark],
+        runs=[run],
+    )
     return 0
 
 
@@ -238,6 +300,11 @@ def _cmd_suite(args: argparse.Namespace) -> int:
     _emit_obs(
         runner, args, config=config,
         names=benchmark_names(quick=args.quick), outcome=outcome,
+    )
+    _append_history(
+        runner, args, kind="suite", config=config,
+        names=benchmark_names(quick=args.quick), runs=list(outcome),
+        outcome=outcome,
     )
     return _report_failures(runner)
 
@@ -359,6 +426,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     )
     report.write(args.out)
     print(f"[bench report written to {args.out}]")
+    if not getattr(args, "no_history", False):
+        try:
+            _history_store(args).append(record_from_bench(report))
+        except OSError as error:
+            print(f"warning: history not recorded: {error}", file=sys.stderr)
     if args.trace_out:
         count = write_trace_jsonl(
             args.trace_out, obs.tracer, obs.metrics, report.to_dict()
@@ -379,9 +451,47 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _require_trace(path_text: str) -> Path:
+    """Missing trace files are usage errors (exit 2), not data errors."""
+    path = Path(path_text)
+    if not path.exists():
+        raise HarnessError(f"no such trace file: {path}")
+    return path
+
+
 def _cmd_obs_report(args: argparse.Namespace) -> int:
-    dump = read_trace_jsonl(args.trace)
+    dump = read_trace_jsonl(_require_trace(args.trace))
     print(format_trace_report(dump, max_depth=args.depth))
+    return 0
+
+
+def _cmd_obs_diag(args: argparse.Namespace) -> int:
+    dump = read_trace_jsonl(_require_trace(args.trace))
+    views = diag_views(dump.metrics)
+    print(format_diag_report(
+        views, benchmark=args.benchmark, method=args.method
+    ))
+    return 0
+
+
+def _cmd_obs_history(args: argparse.Namespace) -> int:
+    records = _history_store(args).load()
+    print(format_history(records, limit=args.limit))
+    return 0
+
+
+def _cmd_obs_diff(args: argparse.Namespace) -> int:
+    store = _history_store(args)
+    records = store.load()
+    a = store.resolve(args.run_a, records)
+    b = store.resolve(args.run_b, records)
+    diff = diff_records(a, b, threshold=args.threshold)
+    print(format_diff(diff, verbose=args.all))
+    if diff.regressed:
+        print(
+            f"{len(diff.regressed)} metric(s) regressed", file=sys.stderr
+        )
+        return EXIT_PARTIAL
     return 0
 
 
@@ -421,6 +531,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write the run manifest (provenance record) "
                             "as JSON to FILE")
 
+    def add_history(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--no-history", action="store_true",
+                       help="do not append this invocation to the "
+                            "cross-run history")
+        p.add_argument("--history-dir", metavar="DIR", default=None,
+                       help="history directory (default: .repro_history, "
+                            "or $REPRO_HISTORY_DIR)")
+
     def add_jobs(p: argparse.ArgumentParser) -> None:
         p.add_argument("--jobs", type=int, default=1, metavar="N",
                        help="worker processes for per-benchmark runs "
@@ -445,6 +563,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("benchmark", choices=benchmark_names())
     run.add_argument("--config", choices=("a", "b"), default="a")
     add_common(run)
+    add_history(run)
     run.set_defaults(func=_cmd_run)
 
     suite = sub.add_parser("suite", help="whole-suite summary")
@@ -455,6 +574,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_jobs(suite)
     add_fault(suite)
     add_common(suite)
+    add_history(suite)
     suite.set_defaults(func=_cmd_suite)
 
     experiment = sub.add_parser(
@@ -508,6 +628,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("-v", "--verbose", action="count",
                        default=argparse.SUPPRESS,
                        help="per-case progress at INFO level")
+    add_history(bench)
     bench.set_defaults(func=_cmd_bench)
 
     obs = sub.add_parser("obs", help="inspect observability artefacts")
@@ -521,6 +642,43 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--depth", type=int, default=None, metavar="N",
                         help="limit the rendered span tree depth")
     report.set_defaults(func=_cmd_obs_report)
+
+    diag = obs_sub.add_parser(
+        "diag",
+        help="render per-benchmark error budgets (per-phase error "
+             "attribution and clustering-quality telemetry) from a "
+             "--trace-out JSONL file",
+    )
+    diag.add_argument("trace", help="path to a --trace-out JSONL file")
+    diag.add_argument("--benchmark", default=None,
+                      help="only this benchmark")
+    diag.add_argument("--method", default=None,
+                      help="only this sampling method")
+    diag.set_defaults(func=_cmd_obs_diag)
+
+    history = obs_sub.add_parser(
+        "history", help="list the recorded cross-run history"
+    )
+    history.add_argument("--limit", type=int, default=0, metavar="N",
+                         help="only the N most recent records")
+    add_history(history)
+    history.set_defaults(func=_cmd_obs_history)
+
+    diff = obs_sub.add_parser(
+        "diff",
+        help="compare two history records; accuracy regressions exit 1",
+    )
+    diff.add_argument("run_a", help="older record: 'last', 'prev', '~N' "
+                                    "or a run_id prefix")
+    diff.add_argument("run_b", help="newer record (same forms)")
+    diff.add_argument("--threshold", type=float, default=1e-9,
+                      metavar="DELTA",
+                      help="deviation growth tolerated before a metric "
+                           "counts as regressed (default: 1e-9)")
+    diff.add_argument("--all", action="store_true",
+                      help="also print PASS and INFO entries")
+    add_history(diff)
+    diff.set_defaults(func=_cmd_obs_diff)
     return parser
 
 

@@ -119,6 +119,7 @@ def _worker_run(payload: dict) -> tuple:
         ),
         workload_scale=payload["workload_scale"],
         methods=payload["methods"],
+        diagnostics=payload.get("diagnostics", True),
     )
     try:
         run = runner.run_benchmark(payload["benchmark"], payload["config"])
@@ -196,6 +197,7 @@ def run_tasks_parallel(
         "methods": runner.methods,
         "cache_dir": Path(runner.cache.directory),
         "cache_enabled": runner.cache.enabled,
+        "diagnostics": runner.diagnostics,
     }
     workers = min(jobs, len(tasks))
     logger.info("fanning %d runs out over %d workers", len(tasks), workers)

@@ -18,9 +18,10 @@ so they are memoised in-process and reused across configurations.
 
 from __future__ import annotations
 
+import copy
 import logging
 import time
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Tuple
 
@@ -39,9 +40,15 @@ from ..engine.functional import FunctionalSimulator
 from ..engine.trace import Trace, build_trace
 from ..errors import HarnessError
 from ..obs import ObsContext
+from ..obs.diag import DIAG_METRICS, MethodDiag, record_diag_metrics
 from ..sampling.coasts import Coasts
 from ..sampling.early import EarlySimPoint
-from ..sampling.estimate import evaluate_plan, plan_ranges, simulate_point_set
+from ..sampling.estimate import (
+    evaluate_plan,
+    plan_ranges,
+    simulate_point_set,
+    simulate_tagged_ranges,
+)
 from ..sampling.multilevel import MultiLevelSampler
 from ..sampling.points import SamplingPlan
 from ..sampling.simpoint import SimPoint
@@ -110,6 +117,10 @@ class BenchmarkRun:
     total_instructions: int
     baseline: Metrics
     methods: Dict[str, MethodResult]
+    #: Per-method accuracy diagnostics (per-phase error attribution and
+    #: clustering-quality telemetry); empty when the runner was built
+    #: with ``diagnostics=False``.
+    diagnostics: Dict[str, MethodDiag] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     def simulation_time(
@@ -163,6 +174,10 @@ class BenchmarkRun:
                 }
                 for name, result in self.methods.items()
             },
+            "diagnostics": {
+                name: diag.to_dict()
+                for name, diag in self.diagnostics.items()
+            },
         }
 
     @staticmethod
@@ -181,6 +196,10 @@ class BenchmarkRun:
                 )
                 for name, data in payload["methods"].items()
             },
+            diagnostics={
+                name: MethodDiag.from_dict(data)
+                for name, data in payload.get("diagnostics", {}).items()
+            },
         )
 
 
@@ -196,12 +215,16 @@ class ExperimentRunner:
         methods: Iterable[str] = ALL_METHODS,
         jobs: int = 1,
         policy: Optional[FaultPolicy] = None,
+        diagnostics: bool = True,
     ) -> None:
         self.sampling = sampling
         self.cost_model = cost_model
         self.cache = cache if cache is not None else ResultCache()
         self.workload_scale = workload_scale
         self.methods = tuple(methods)
+        #: Whether to run the accuracy-diagnostics stage (per-phase error
+        #: attribution; costs roughly one extra detailed pass per run).
+        self.diagnostics = diagnostics
         unknown = set(self.methods) - set(ALL_METHODS)
         if unknown:
             raise HarnessError(f"unknown methods: {sorted(unknown)}")
@@ -229,6 +252,10 @@ class ExperimentRunner:
         self.timing = SuiteTiming(obs=self.obs)
         self._traces: Dict[str, Trace] = {}
         self._plans: Dict[str, Dict[str, SamplingPlan]] = {}
+        #: Per-benchmark clustering diagnostics captured while the plans
+        #: were built (memoised alongside ``_plans``; the per-config copy
+        #: each run completes lives on its :class:`BenchmarkRun`).
+        self._plan_diags: Dict[str, Dict[str, MethodDiag]] = {}
 
     # ------------------------------------------------------------------
     def trace(self, benchmark: str) -> Trace:
@@ -259,27 +286,42 @@ class ExperimentRunner:
                 )
         # The coarse samplers profile internally; their time lands in
         # plan_construction (the fine BBV pass dominates profiling cost).
+        diags: Dict[str, MethodDiag] = {}
         with self.timing.stage(_record, "plan_construction"):
             if "simpoint" in self.methods:
-                plans["simpoint"] = SimPoint(self.sampling).sample(
+                sampler = SimPoint(self.sampling, obs=self.obs)
+                plans["simpoint"] = sampler.sample(
                     fine_profile, benchmark=benchmark
                 )
+                if sampler.last_diagnostics is not None:
+                    diags["simpoint"] = sampler.last_diagnostics
             if "early_sp" in self.methods:
-                plans["early_sp"] = EarlySimPoint(self.sampling).sample(
+                sampler = EarlySimPoint(self.sampling, obs=self.obs)
+                plans["early_sp"] = sampler.sample(
                     fine_profile, benchmark=benchmark
                 )
+                if sampler.last_diagnostics is not None:
+                    diags["early_sp"] = sampler.last_diagnostics
             coarse_plan = None
+            coarse_diag = None
             if {"coasts", "multilevel"} & set(self.methods):
-                coarse_plan = Coasts(self.sampling).sample(
-                    trace, benchmark=benchmark
-                )
+                coarse_sampler = Coasts(self.sampling, obs=self.obs)
+                coarse_plan = coarse_sampler.sample(trace, benchmark=benchmark)
+                coarse_diag = coarse_sampler.last_diagnostics
             if "coasts" in self.methods:
                 plans["coasts"] = coarse_plan
+                if coarse_diag is not None:
+                    diags["coasts"] = coarse_diag
             if "multilevel" in self.methods:
-                plans["multilevel"] = MultiLevelSampler(self.sampling).sample(
-                    trace, benchmark=benchmark, coarse_plan=coarse_plan
+                sampler = MultiLevelSampler(self.sampling, obs=self.obs)
+                plans["multilevel"] = sampler.sample(
+                    trace, benchmark=benchmark,
+                    coarse_plan=coarse_plan, coarse_diag=coarse_diag,
                 )
+                if sampler.last_diagnostics is not None:
+                    diags["multilevel"] = sampler.last_diagnostics
         self._plans[benchmark] = plans
+        self._plan_diags[benchmark] = diags
         return plans
 
     # ------------------------------------------------------------------
@@ -304,7 +346,12 @@ class ExperimentRunner:
             if cached is not None:
                 record.cache_hit = True
                 logger.debug("[%s] %s: cache hit", config.name, benchmark)
-                return BenchmarkRun.from_dict(cached)
+                run = BenchmarkRun.from_dict(cached)
+                # Gauges, not counters, so re-recording on every hit is
+                # idempotent and a cached run still surfaces its
+                # diagnostics in --metrics-out / `obs diag`.
+                record_diag_metrics(self.obs.metrics, run.diagnostics)
+                return run
 
             with self.timing.stage(record, "trace_build"):
                 trace = self.trace(benchmark)
@@ -338,19 +385,111 @@ class ExperimentRunner:
                         deviation=evaluation.deviation,
                     )
 
+            diags: Dict[str, MethodDiag] = {}
+            if self.diagnostics:
+                with self.timing.stage(record, "diagnostics"):
+                    diags = self._diagnose(
+                        benchmark, plans, leaf_cache, baseline, methods,
+                        simulator,
+                    )
+
             run = BenchmarkRun(
                 benchmark=benchmark,
                 config_name=config.name,
                 total_instructions=trace.total_instructions,
                 baseline=baseline,
                 methods=methods,
+                diagnostics=diags,
             )
             self.cache.put(key, run.to_dict())
+            record_diag_metrics(self.obs.metrics, diags)
             # Fault-injection hook: tests corrupt the just-published entry
             # to prove torn cache files are quarantined, not trusted
             # (no-op unless $REPRO_FAULTS configures a `corrupt` fault).
             corrupt_cache_entry(self.cache, key, benchmark)
             return run
+
+    def _diagnose(
+        self,
+        benchmark: str,
+        plans: Dict[str, SamplingPlan],
+        leaf_cache: Dict[Tuple[int, int], SimulationResult],
+        baseline: Metrics,
+        methods: Dict[str, MethodResult],
+        simulator: TimingSimulator,
+    ) -> Dict[str, MethodDiag]:
+        """Per-phase error attribution for every method of one run.
+
+        True per-phase metric means come from one shared
+        :func:`simulate_tagged_ranges` pass (a tag per (method, phase));
+        the representative terms reuse the point results already in
+        ``leaf_cache``.  The attribution decomposes each method's signed
+        deviation into per-phase contributions plus an exact residual.
+        """
+        base = self._plan_diags.get(benchmark, {})
+        diags: Dict[str, MethodDiag] = {}
+        tagged: Dict[Tuple[str, int], List[Tuple[int, int]]] = {}
+        for name in self.methods:
+            source = base.get(name)
+            if source is None:
+                continue
+            # The memoised diag is per-benchmark; each (benchmark, config)
+            # run attributes its own copy, so deep-copy before mutating.
+            diag = copy.deepcopy(source)
+            diags[name] = diag
+            for phase, bounds in diag.members.items():
+                tagged[(name, phase)] = bounds
+        if not diags:
+            return diags
+
+        truths = simulate_tagged_ranges(simulator, tagged)
+        for name, diag in diags.items():
+            plan = plans[name]
+            weight_total = sum(
+                leaf.weight for leaf in plan.leaves() if leaf.weight > 0
+            )
+            rep_terms: Dict[int, Dict[str, float]] = {}
+            for point in plan.points:
+                term = rep_terms.setdefault(
+                    point.phase, {m: 0.0 for m in DIAG_METRICS}
+                )
+                for leaf in point.leaves():
+                    if leaf.weight <= 0:
+                        continue
+                    m = leaf_cache[(leaf.start, leaf.end)].metrics()
+                    term["cpi"] += leaf.weight * m.cpi
+                    term["l1"] += leaf.weight * m.l1_hit_rate
+                    term["l2"] += leaf.weight * m.l2_hit_rate
+            phase_values: Dict[int, Dict[str, float]] = {}
+            for phase in diag.members:
+                result = truths.get((name, phase))
+                if result is None or result.instructions <= 0:
+                    continue
+                phase_values[phase] = {
+                    "cpi": result.cpi,
+                    "l1": result.l1_hit_rate,
+                    "l2": result.l2_hit_rate,
+                }
+            est = methods[name].estimate
+            diag.attribute(
+                baseline={
+                    "cpi": baseline.cpi,
+                    "l1": baseline.l1_hit_rate,
+                    "l2": baseline.l2_hit_rate,
+                },
+                estimate={
+                    "cpi": est.cpi,
+                    "l1": est.l1_hit_rate,
+                    "l2": est.l2_hit_rate,
+                },
+                rep_terms=rep_terms,
+                phase_values=phase_values,
+                weight_total=weight_total,
+            )
+            # Member bounds are trace-sized working state, not a result;
+            # drop them so the run (and its cache entry) stays small.
+            diag.members.clear()
+        return diags
 
     def run_suite(
         self,

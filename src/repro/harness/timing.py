@@ -38,6 +38,7 @@ STAGE_ORDER = (
     "plan_construction",
     "baseline",
     "point_simulation",
+    "diagnostics",
 )
 
 

@@ -18,6 +18,14 @@ merge semantics.
 """
 
 from .context import ObsContext
+from .diag import (
+    MethodDiag,
+    PhaseDiag,
+    build_method_diag,
+    diag_views,
+    format_diag_report,
+    record_diag_metrics,
+)
 from .export import (
     TraceDump,
     format_trace_report,
@@ -26,6 +34,17 @@ from .export import (
     trace_records,
     write_prometheus,
     write_trace_jsonl,
+)
+from .history import (
+    HISTORY_VERSION,
+    HistoryDiff,
+    HistoryRecord,
+    RunHistory,
+    diff_records,
+    format_diff,
+    format_history,
+    record_from_bench,
+    record_from_manifest,
 )
 from .manifest import MANIFEST_VERSION, RunManifest, host_fingerprint
 from .metrics import (
@@ -64,10 +83,15 @@ __all__ = [
     "FAULTS_INJECTED",
     "FUNCTIONAL_INSTRUCTIONS",
     "Gauge",
+    "HISTORY_VERSION",
     "Histogram",
+    "HistoryDiff",
+    "HistoryRecord",
     "MANIFEST_VERSION",
+    "MethodDiag",
     "MetricsRegistry",
     "ObsContext",
+    "PhaseDiag",
     "POOL_RESPAWNS",
     "PROFILE_PASSES",
     "RUN_FAILURES",
@@ -75,15 +99,25 @@ __all__ = [
     "RUN_SECONDS",
     "RUN_TIMEOUTS",
     "RUNS_COMPLETED",
+    "RunHistory",
     "RunManifest",
     "STAGE_SECONDS",
     "Span",
     "TraceDump",
     "Tracer",
     "WORKER_CRASHES",
+    "build_method_diag",
+    "diag_views",
+    "diff_records",
+    "format_diag_report",
+    "format_diff",
+    "format_history",
     "format_trace_report",
     "host_fingerprint",
     "read_trace_jsonl",
+    "record_diag_metrics",
+    "record_from_bench",
+    "record_from_manifest",
     "render_prometheus",
     "trace_records",
     "traced",

@@ -1,0 +1,594 @@
+"""Accuracy diagnostics: per-phase error attribution + clustering quality.
+
+The paper's claim is an accuracy claim (Table II), so the observability
+stack must answer not just *where time went* (spans) but *where error
+came from*.  This module is the schema and math for that:
+
+* **Per-phase error attribution.**  A sampling estimate is the weighted
+  mean of representative metrics, ``est = (1/W) * sum_p w_p * rep_p``,
+  and the covered truth decomposes the same way over per-phase means,
+  so the signed deviation splits exactly into per-phase contributions::
+
+      est - base = sum_p c_p + residual
+      c_p        = (rep_term_p - w_p * phase_mean_p) / W
+
+  where ``rep_term_p`` sums the phase's detail-simulated leaves
+  (``w_leaf * metric_leaf``) and the *residual* collects everything the
+  phase rows cannot explain: coverage discarded by the <1% rule,
+  rate-aggregation bias, and weight normalisation.  CPI contributions
+  are relative to the baseline CPI and hit-rate contributions are
+  absolute — the same units as :class:`repro.detailed.results.Deviation`
+  — so the signed rows sum to the Table II number for each benchmark.
+
+* **Clustering-quality telemetry.**  Per-phase intra-cluster variance,
+  simplified silhouette, representative-to-centroid distance, coarse
+  point size vs. the 300M (scaled) re-sampling threshold, and the
+  coverage the boundary filter discarded.  These are the SimPoint-style
+  predictors of sampling error; gcc's pathological giant coarse point
+  (EXPERIMENTS.md) lights up here as an ``oversized`` flag.
+
+Everything is recorded as ``repro_diag_*`` gauges on the run's metrics
+registry, so a ``--trace-out`` file is self-contained:
+``repro obs diag trace.jsonl`` rebuilds the error-budget tables from the
+metric records alone.
+
+This module deliberately imports nothing from the sampling or harness
+layers (they import *it*); the samplers construct :class:`MethodDiag`
+records and the harness fills in the attribution after detail
+simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+# ----------------------------------------------------------------------
+# well-known diagnostic metric names (all gauges: re-recording a run's
+# diagnostics must be idempotent, so counters are wrong here)
+# ----------------------------------------------------------------------
+DIAG_PHASE_ERROR = "repro_diag_phase_error"
+DIAG_RESIDUAL = "repro_diag_residual"
+DIAG_TOTAL_ERROR = "repro_diag_total_error"
+DIAG_PHASE_WEIGHT = "repro_diag_phase_weight"
+DIAG_PHASE_INSTRUCTIONS = "repro_diag_phase_instructions"
+DIAG_PHASE_MEMBERS = "repro_diag_phase_members"
+DIAG_POINT_SIZE = "repro_diag_point_size"
+DIAG_REP_DISTANCE = "repro_diag_rep_distance"
+DIAG_MEAN_DISTANCE = "repro_diag_mean_distance"
+DIAG_CLUSTER_VARIANCE = "repro_diag_cluster_variance"
+DIAG_SILHOUETTE = "repro_diag_silhouette"
+DIAG_REP_VALUE = "repro_diag_rep_value"
+DIAG_PHASE_VALUE = "repro_diag_phase_value"
+DIAG_OVERSIZED = "repro_diag_oversized"
+DIAG_RESAMPLED = "repro_diag_resampled"
+DIAG_COVERAGE_DISCARDED = "repro_diag_coverage_discarded"
+DIAG_RESAMPLE_THRESHOLD = "repro_diag_resample_threshold"
+DIAG_N_CLUSTERS = "repro_diag_n_clusters"
+DIAG_N_INTERVALS = "repro_diag_n_intervals"
+
+#: The accuracy metrics attribution covers, in reporting order.
+DIAG_METRICS: Tuple[str, ...] = ("cpi", "l1", "l2")
+
+#: A representative farther than this multiple of the cluster's mean
+#: member-to-centroid distance is flagged ``FAR-REP`` in reports.
+FAR_REP_FACTOR = 2.0
+
+
+@dataclass
+class PhaseDiag:
+    """Diagnostics of one phase (cluster) of one sampling plan."""
+
+    phase: int
+    weight: float
+    n_members: int
+    instructions: int
+    #: Size of the phase's coarse/representative point, in instructions.
+    point_size: int
+    rep_index: int
+    #: Euclidean distance of the representative's signature to its
+    #: centroid, and the cluster's mean member distance next to it.
+    rep_distance: float
+    mean_distance: float
+    #: Intra-cluster variance: mean squared member-to-centroid distance.
+    variance: float
+    #: Mean simplified (centroid-based) silhouette of the members.
+    silhouette: float
+    resampled: bool = False
+    #: True when the point exceeds the re-sampling threshold — the
+    #: paper's "giant coarse point" pathology (gcc).
+    oversized: bool = False
+    #: Filled by the harness after detail simulation: representative
+    #: and phase-mean metric values, and the signed error contribution
+    #: per metric (Deviation units; see the module docstring).
+    rep_values: Dict[str, float] = field(default_factory=dict)
+    phase_values: Dict[str, float] = field(default_factory=dict)
+    contributions: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def far_representative(self) -> bool:
+        """Is the representative unusually far from its centroid?"""
+        return (
+            self.n_members > 1
+            and self.mean_distance > 0.0
+            and self.rep_distance > FAR_REP_FACTOR * self.mean_distance
+        )
+
+    def flags(self) -> List[str]:
+        """Human-readable anomaly flags for the report table."""
+        out: List[str] = []
+        if self.oversized:
+            out.append("GIANT-COARSE-POINT")
+        if self.far_representative:
+            out.append("FAR-REP")
+        if self.n_members > 1 and self.silhouette < 0.0:
+            out.append("LOW-SEPARATION")
+        if self.resampled:
+            out.append("resampled")
+        return out
+
+    def to_dict(self) -> dict:
+        return {
+            "phase": self.phase,
+            "weight": self.weight,
+            "n_members": self.n_members,
+            "instructions": self.instructions,
+            "point_size": self.point_size,
+            "rep_index": self.rep_index,
+            "rep_distance": self.rep_distance,
+            "mean_distance": self.mean_distance,
+            "variance": self.variance,
+            "silhouette": self.silhouette,
+            "resampled": self.resampled,
+            "oversized": self.oversized,
+            "rep_values": dict(self.rep_values),
+            "phase_values": dict(self.phase_values),
+            "contributions": dict(self.contributions),
+        }
+
+    @staticmethod
+    def from_dict(payload: dict) -> "PhaseDiag":
+        return PhaseDiag(
+            phase=int(payload["phase"]),
+            weight=float(payload["weight"]),
+            n_members=int(payload["n_members"]),
+            instructions=int(payload["instructions"]),
+            point_size=int(payload["point_size"]),
+            rep_index=int(payload["rep_index"]),
+            rep_distance=float(payload["rep_distance"]),
+            mean_distance=float(payload["mean_distance"]),
+            variance=float(payload["variance"]),
+            silhouette=float(payload["silhouette"]),
+            resampled=bool(payload.get("resampled", False)),
+            oversized=bool(payload.get("oversized", False)),
+            rep_values=dict(payload.get("rep_values", {})),
+            phase_values=dict(payload.get("phase_values", {})),
+            contributions=dict(payload.get("contributions", {})),
+        )
+
+
+@dataclass
+class MethodDiag:
+    """Diagnostics of one sampling method on one benchmark.
+
+    Built in two steps: the sampler fills the clustering-quality fields
+    (and the transient per-phase member bounds); the harness fills the
+    attribution fields after detail simulation.  ``members`` never
+    serialises — it is only needed to aggregate per-phase truth.
+    """
+
+    method: str
+    benchmark: str
+    n_clusters: int
+    n_intervals: int
+    coverage_discarded: float
+    resample_threshold: int
+    phases: List[PhaseDiag] = field(default_factory=list)
+    #: Signed residual per metric: total minus the phase contributions
+    #: (coverage, rate-aggregation bias, weight normalisation).
+    residual: Dict[str, float] = field(default_factory=dict)
+    #: Signed total deviation per metric (Deviation units).
+    total_error: Dict[str, float] = field(default_factory=dict)
+    #: Transient: phase -> [(start, end), ...] member interval bounds.
+    members: Dict[int, List[Tuple[int, int]]] = field(
+        default_factory=dict, repr=False,
+    )
+
+    # ------------------------------------------------------------------
+    def phase_by_id(self, phase: int) -> Optional[PhaseDiag]:
+        """The diagnostics row of *phase*, if present."""
+        for row in self.phases:
+            if row.phase == phase:
+                return row
+        return None
+
+    @property
+    def n_oversized(self) -> int:
+        """Phases whose point exceeds the re-sampling threshold."""
+        return sum(1 for row in self.phases if row.oversized)
+
+    def sorted_phases(self) -> List[PhaseDiag]:
+        """Phases ordered worst-first by absolute CPI contribution."""
+        return sorted(
+            self.phases,
+            key=lambda row: -abs(row.contributions.get("cpi", 0.0)),
+        )
+
+    # ------------------------------------------------------------------
+    def attribute(
+        self,
+        baseline: Dict[str, float],
+        estimate: Dict[str, float],
+        rep_terms: Dict[int, Dict[str, float]],
+        phase_values: Dict[int, Dict[str, float]],
+        weight_total: float,
+    ) -> None:
+        """Fill the attribution fields (harness-side, post-simulation).
+
+        *rep_terms* maps phase -> unnormalised representative terms
+        (``sum over the phase's leaves of w_leaf * metric``);
+        *phase_values* maps phase -> the phase's true per-metric means
+        (aggregated over every member interval); *weight_total* is the
+        plan's total leaf weight ``W``.  CPI rows are divided by the
+        baseline CPI so contributions line up with Table II's relative
+        CPI deviation; hit-rate rows stay absolute.
+        """
+        base_cpi = baseline["cpi"]
+        self.total_error = {
+            "cpi": (estimate["cpi"] - baseline["cpi"]) / base_cpi,
+            "l1": estimate["l1"] - baseline["l1"],
+            "l2": estimate["l2"] - baseline["l2"],
+        }
+        sums = {name: 0.0 for name in DIAG_METRICS}
+        for row in self.phases:
+            term = rep_terms.get(row.phase)
+            truth = phase_values.get(row.phase)
+            if term is None or truth is None:
+                continue
+            row.phase_values = dict(truth)
+            row.rep_values = {
+                name: (term[name] / row.weight if row.weight > 0 else 0.0)
+                for name in DIAG_METRICS
+            }
+            row.contributions = {}
+            for name in DIAG_METRICS:
+                contribution = (
+                    term[name] - row.weight * truth[name]
+                ) / weight_total
+                if name == "cpi":
+                    contribution /= base_cpi
+                row.contributions[name] = contribution
+                sums[name] += contribution
+        self.residual = {
+            name: self.total_error[name] - sums[name]
+            for name in DIAG_METRICS
+        }
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "method": self.method,
+            "benchmark": self.benchmark,
+            "n_clusters": self.n_clusters,
+            "n_intervals": self.n_intervals,
+            "coverage_discarded": self.coverage_discarded,
+            "resample_threshold": self.resample_threshold,
+            "phases": [row.to_dict() for row in self.phases],
+            "residual": dict(self.residual),
+            "total_error": dict(self.total_error),
+        }
+
+    @staticmethod
+    def from_dict(payload: dict) -> "MethodDiag":
+        return MethodDiag(
+            method=payload["method"],
+            benchmark=payload["benchmark"],
+            n_clusters=int(payload["n_clusters"]),
+            n_intervals=int(payload["n_intervals"]),
+            coverage_discarded=float(payload["coverage_discarded"]),
+            resample_threshold=int(payload["resample_threshold"]),
+            phases=[PhaseDiag.from_dict(p) for p in payload.get("phases", [])],
+            residual=dict(payload.get("residual", {})),
+            total_error=dict(payload.get("total_error", {})),
+        )
+
+
+# ----------------------------------------------------------------------
+# sampler-side construction
+# ----------------------------------------------------------------------
+def build_method_diag(
+    method: str,
+    benchmark: str,
+    labels: Sequence[int],
+    picks: Sequence[int],
+    weights: Sequence[float],
+    bounds: Sequence[Tuple[int, int]],
+    instructions: Sequence[int],
+    quality,
+    resample_threshold: int,
+    coverage_discarded: float = 0.0,
+) -> MethodDiag:
+    """Assemble a :class:`MethodDiag` from one clustering's raw pieces.
+
+    *labels*, *bounds* and *instructions* are per interval; *picks* and
+    *weights* per phase (``picks[p] < 0`` marks an empty phase, skipped
+    exactly like the samplers skip it when building the plan).  *quality*
+    is duck-typed (``variances``/``silhouettes`` per cluster,
+    ``member_distances`` per interval) so this module needs no import
+    from the analysis layer — the samplers pass
+    :class:`repro.analysis.kmeans.ClusterQuality`.
+    """
+    diag = MethodDiag(
+        method=method,
+        benchmark=benchmark,
+        n_clusters=len(picks),
+        n_intervals=len(labels),
+        coverage_discarded=coverage_discarded,
+        resample_threshold=int(resample_threshold),
+    )
+    for phase, pick in enumerate(picks):
+        pick = int(pick)
+        if pick < 0:
+            continue
+        members = [i for i, label in enumerate(labels) if label == phase]
+        member_bounds = [
+            (int(bounds[i][0]), int(bounds[i][1])) for i in members
+        ]
+        distances = [float(quality.member_distances[i]) for i in members]
+        point_size = int(bounds[pick][1]) - int(bounds[pick][0])
+        diag.phases.append(PhaseDiag(
+            phase=phase,
+            weight=float(weights[phase]),
+            n_members=len(members),
+            instructions=int(sum(instructions[i] for i in members)),
+            point_size=point_size,
+            rep_index=pick,
+            rep_distance=float(quality.member_distances[pick]),
+            mean_distance=(
+                sum(distances) / len(distances) if distances else 0.0
+            ),
+            variance=float(quality.variances[phase]),
+            silhouette=float(quality.silhouettes[phase]),
+            oversized=point_size > resample_threshold,
+        ))
+        diag.members[phase] = member_bounds
+    return diag
+
+
+# ----------------------------------------------------------------------
+# registry recording and reconstruction
+# ----------------------------------------------------------------------
+def record_diag_metrics(registry, diags: Dict[str, MethodDiag]) -> None:
+    """Write one benchmark's diagnostics as ``repro_diag_*`` gauges.
+
+    *registry* is a :class:`~repro.obs.metrics.MetricsRegistry` (duck
+    typed to avoid an import cycle with callers).  All instruments are
+    gauges, so recording the same run twice (cache hits, retries) is
+    idempotent.
+    """
+    for diag in diags.values():
+        ident = {"benchmark": diag.benchmark, "method": diag.method}
+        registry.gauge(DIAG_N_CLUSTERS, **ident).set(diag.n_clusters)
+        registry.gauge(DIAG_N_INTERVALS, **ident).set(diag.n_intervals)
+        registry.gauge(DIAG_COVERAGE_DISCARDED, **ident).set(
+            diag.coverage_discarded
+        )
+        registry.gauge(DIAG_RESAMPLE_THRESHOLD, **ident).set(
+            diag.resample_threshold
+        )
+        for name in DIAG_METRICS:
+            if name in diag.total_error:
+                registry.gauge(DIAG_TOTAL_ERROR, metric=name, **ident).set(
+                    diag.total_error[name]
+                )
+            if name in diag.residual:
+                registry.gauge(DIAG_RESIDUAL, metric=name, **ident).set(
+                    diag.residual[name]
+                )
+        for row in diag.phases:
+            labels = dict(ident, phase=row.phase)
+            registry.gauge(DIAG_PHASE_WEIGHT, **labels).set(row.weight)
+            registry.gauge(DIAG_PHASE_MEMBERS, **labels).set(row.n_members)
+            registry.gauge(DIAG_PHASE_INSTRUCTIONS, **labels).set(
+                row.instructions
+            )
+            registry.gauge(DIAG_POINT_SIZE, **labels).set(row.point_size)
+            registry.gauge(DIAG_REP_DISTANCE, **labels).set(row.rep_distance)
+            registry.gauge(DIAG_MEAN_DISTANCE, **labels).set(
+                row.mean_distance
+            )
+            registry.gauge(DIAG_CLUSTER_VARIANCE, **labels).set(row.variance)
+            registry.gauge(DIAG_SILHOUETTE, **labels).set(row.silhouette)
+            registry.gauge(DIAG_OVERSIZED, **labels).set(
+                1.0 if row.oversized else 0.0
+            )
+            registry.gauge(DIAG_RESAMPLED, **labels).set(
+                1.0 if row.resampled else 0.0
+            )
+            for name in DIAG_METRICS:
+                if name in row.contributions:
+                    registry.gauge(
+                        DIAG_PHASE_ERROR, metric=name, **labels
+                    ).set(row.contributions[name])
+                if name in row.rep_values:
+                    registry.gauge(
+                        DIAG_REP_VALUE, metric=name, **labels
+                    ).set(row.rep_values[name])
+                if name in row.phase_values:
+                    registry.gauge(
+                        DIAG_PHASE_VALUE, metric=name, **labels
+                    ).set(row.phase_values[name])
+
+
+def diag_views(registry) -> Dict[str, Dict[str, MethodDiag]]:
+    """Rebuild ``{benchmark: {method: MethodDiag}}`` from recorded gauges.
+
+    The inverse of :func:`record_diag_metrics`, up to the transient
+    ``members`` field.  Accepts anything with a ``samples()`` iterator
+    (a live registry or a parsed :class:`~repro.obs.export.TraceDump`'s
+    ``metrics``).
+    """
+    views: Dict[str, Dict[str, MethodDiag]] = {}
+
+    def method_of(labels: Dict[str, str]) -> Optional[MethodDiag]:
+        benchmark = labels.get("benchmark")
+        method = labels.get("method")
+        if benchmark is None or method is None:
+            return None
+        per_bench = views.setdefault(benchmark, {})
+        if method not in per_bench:
+            per_bench[method] = MethodDiag(
+                method=method, benchmark=benchmark, n_clusters=0,
+                n_intervals=0, coverage_discarded=0.0, resample_threshold=0,
+            )
+        return per_bench[method]
+
+    def phase_of(diag: MethodDiag, labels: Dict[str, str]) -> PhaseDiag:
+        phase = int(labels["phase"])
+        row = diag.phase_by_id(phase)
+        if row is None:
+            row = PhaseDiag(
+                phase=phase, weight=0.0, n_members=0, instructions=0,
+                point_size=0, rep_index=-1, rep_distance=0.0,
+                mean_distance=0.0, variance=0.0, silhouette=0.0,
+            )
+            diag.phases.append(row)
+        return row
+
+    per_phase_scalar = {
+        DIAG_PHASE_WEIGHT: "weight",
+        DIAG_REP_DISTANCE: "rep_distance",
+        DIAG_MEAN_DISTANCE: "mean_distance",
+        DIAG_CLUSTER_VARIANCE: "variance",
+        DIAG_SILHOUETTE: "silhouette",
+    }
+    per_phase_int = {
+        DIAG_PHASE_MEMBERS: "n_members",
+        DIAG_PHASE_INSTRUCTIONS: "instructions",
+        DIAG_POINT_SIZE: "point_size",
+    }
+    per_phase_flag = {
+        DIAG_OVERSIZED: "oversized",
+        DIAG_RESAMPLED: "resampled",
+    }
+    per_phase_metric = {
+        DIAG_PHASE_ERROR: "contributions",
+        DIAG_REP_VALUE: "rep_values",
+        DIAG_PHASE_VALUE: "phase_values",
+    }
+    per_method_int = {
+        DIAG_N_CLUSTERS: "n_clusters",
+        DIAG_N_INTERVALS: "n_intervals",
+        DIAG_RESAMPLE_THRESHOLD: "resample_threshold",
+    }
+    per_method_metric = {
+        DIAG_TOTAL_ERROR: "total_error",
+        DIAG_RESIDUAL: "residual",
+    }
+
+    for name, label_items, metric in registry.samples():
+        if not name.startswith("repro_diag_"):
+            continue
+        labels = dict(label_items)
+        diag = method_of(labels)
+        if diag is None:
+            continue
+        value = metric.value
+        if name in per_method_int:
+            setattr(diag, per_method_int[name], int(value))
+        elif name == DIAG_COVERAGE_DISCARDED:
+            diag.coverage_discarded = value
+        elif name in per_method_metric:
+            getattr(diag, per_method_metric[name])[labels["metric"]] = value
+        elif name in per_phase_scalar:
+            setattr(phase_of(diag, labels), per_phase_scalar[name], value)
+        elif name in per_phase_int:
+            setattr(phase_of(diag, labels), per_phase_int[name], int(value))
+        elif name in per_phase_flag:
+            setattr(
+                phase_of(diag, labels), per_phase_flag[name], value > 0.5
+            )
+        elif name in per_phase_metric:
+            getattr(phase_of(diag, labels), per_phase_metric[name])[
+                labels["metric"]
+            ] = value
+    for per_bench in views.values():
+        for diag in per_bench.values():
+            diag.phases.sort(key=lambda row: row.phase)
+    return views
+
+
+# ----------------------------------------------------------------------
+# human report (repro obs diag)
+# ----------------------------------------------------------------------
+def _pct(value: float) -> str:
+    return f"{100.0 * value:+.3f}%"
+
+
+def format_diag_report(
+    views: Dict[str, Dict[str, MethodDiag]],
+    benchmark: Optional[str] = None,
+    method: Optional[str] = None,
+) -> str:
+    """Render per-benchmark error-budget tables, worst phase first."""
+    lines: List[str] = []
+    benchmarks = sorted(views) if benchmark is None else [benchmark]
+    for bench in benchmarks:
+        methods = views.get(bench, {})
+        names = sorted(methods) if method is None else [method]
+        for name in names:
+            diag = methods.get(name)
+            if diag is None:
+                continue
+            if lines:
+                lines.append("")
+            lines.extend(_format_method(diag))
+    if not lines:
+        lines.append("no repro_diag_* metrics found (run the suite with "
+                     "--trace-out and diagnostics enabled)")
+    return "\n".join(lines)
+
+
+def _format_method(diag: MethodDiag) -> List[str]:
+    lines = [
+        f"{diag.benchmark} / {diag.method}: {diag.n_clusters} phase(s) over "
+        f"{diag.n_intervals} interval(s), "
+        f"coverage discarded {diag.coverage_discarded:.2%}, "
+        f"re-sample threshold {diag.resample_threshold}",
+    ]
+    total = diag.total_error
+    if total:
+        lines.append(
+            "total signed deviation: "
+            f"CPI {_pct(total.get('cpi', 0.0))}, "
+            f"L1 {_pct(total.get('l1', 0.0))}, "
+            f"L2 {_pct(total.get('l2', 0.0))}"
+        )
+    header = (
+        f"{'phase':>5}  {'weight':>7}  {'size':>9}  {'members':>7}  "
+        f"{'rep/mean':>9}  {'silh':>6}  {'dCPI':>9}  {'dL1':>9}  "
+        f"{'dL2':>9}  flags"
+    )
+    lines.append(header)
+    for row in diag.sorted_phases():
+        ratio = (
+            row.rep_distance / row.mean_distance
+            if row.mean_distance > 0 else 0.0
+        )
+        lines.append(
+            f"{row.phase:>5}  {row.weight:>7.4f}  {row.point_size:>9}  "
+            f"{row.n_members:>7}  {ratio:>9.2f}  {row.silhouette:>6.2f}  "
+            f"{_pct(row.contributions.get('cpi', 0.0)):>9}  "
+            f"{_pct(row.contributions.get('l1', 0.0)):>9}  "
+            f"{_pct(row.contributions.get('l2', 0.0)):>9}  "
+            f"{' '.join(row.flags())}"
+        )
+    if diag.residual:
+        lines.append(
+            f"{'resid':>5}  {'':>7}  {'':>9}  {'':>7}  {'':>9}  {'':>6}  "
+            f"{_pct(diag.residual.get('cpi', 0.0)):>9}  "
+            f"{_pct(diag.residual.get('l1', 0.0)):>9}  "
+            f"{_pct(diag.residual.get('l2', 0.0)):>9}  "
+            f"coverage/aggregation"
+        )
+    return lines

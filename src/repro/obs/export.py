@@ -302,4 +302,39 @@ def format_trace_report(
             lines.append(
                 f"  {name}{label_text} = {_format_value(metric.value)}"
             )
+
+    # Gauges come in wide families (one series per benchmark/method/
+    # phase — the diag instruments alone are hundreds), so the report
+    # aggregates per name; `repro obs diag` renders the detail.
+    gauges: Dict[str, List[float]] = {}
+    for name, labels, metric in dump.metrics.samples():
+        if metric.kind == "gauge":
+            gauges.setdefault(name, []).append(metric.value)
+    if gauges:
+        lines.append("")
+        lines.append("gauges:")
+        for name in sorted(gauges):
+            values = gauges[name]
+            if len(values) == 1:
+                lines.append(f"  {name} = {_format_value(values[0])}")
+            else:
+                lines.append(
+                    f"  {name}: {len(values)} series, "
+                    f"min {_format_value(min(values))}, "
+                    f"max {_format_value(max(values))}"
+                )
+
+    histograms = [
+        (name, labels, metric)
+        for name, labels, metric in dump.metrics.samples()
+        if metric.kind == "histogram"
+    ]
+    if histograms:
+        lines.append("")
+        lines.append("histograms:")
+        for name, labels, metric in histograms:
+            lines.append(
+                f"  {name}{_label_text(labels)}: count {metric.count}, "
+                f"sum {_format_value(metric.sum)}"
+            )
     return "\n".join(lines)

@@ -21,19 +21,23 @@ functional-simulation cost.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from ..analysis.bbv import concat_signatures
 from ..analysis.bic import cluster_with_bic
 from ..analysis.distance import earliest_member
+from ..analysis.kmeans import cluster_quality
 from ..config import DEFAULT_SAMPLING, SamplingConfig
 from ..engine.functional import FunctionalSimulator
 from ..engine.profiles import CoarseIntervalProfile
 from ..engine.trace import Trace
 from ..errors import SamplingError
+from ..obs import ObsContext
+from ..obs.diag import MethodDiag, build_method_diag
 from .points import SamplingPlan, SimulationPoint
 
 
@@ -44,6 +48,10 @@ class BoundaryInfo:
     kept_loops: Tuple[int, ...]
     discarded_loops: Tuple[int, ...]
     bounds: np.ndarray  # (n_intervals, 2)
+    #: Instruction coverage lost to the <1% rule (sum of the discarded
+    #: structures' coverages) — a direct contributor to sampling error,
+    #: surfaced by the accuracy diagnostics.
+    discarded_coverage: float = 0.0
 
     @property
     def n_intervals(self) -> int:
@@ -56,8 +64,20 @@ class Coasts:
 
     method_name = "coasts"
 
-    def __init__(self, config: SamplingConfig = DEFAULT_SAMPLING) -> None:
+    def __init__(
+        self,
+        config: SamplingConfig = DEFAULT_SAMPLING,
+        obs: Optional[ObsContext] = None,
+    ) -> None:
         self.config = config
+        #: Observability context: when present, sampling runs inside a
+        #: ``sampling`` span and the clustering-quality diagnostics are
+        #: attached to it as attributes.
+        self.obs = obs
+        #: Clustering-quality diagnostics of the most recent
+        #: :meth:`sample`/:meth:`sample_profile` call (the harness fills
+        #: in the error attribution after detail simulation).
+        self.last_diagnostics: Optional[MethodDiag] = None
 
     # ------------------------------------------------------------------
     def collect_boundaries(self, trace: Trace) -> BoundaryInfo:
@@ -91,6 +111,9 @@ class Coasts:
             kept_loops=tuple(kept),
             discarded_loops=tuple(discarded),
             bounds=bounds,
+            discarded_coverage=float(
+                sum(structures[loop_id].coverage for loop_id in discarded)
+            ),
         )
 
     @staticmethod
@@ -146,6 +169,7 @@ class Coasts:
             profile,
             benchmark=benchmark or trace.spec.name,
             total_instructions=trace.total_instructions,
+            discarded_coverage=boundaries.discarded_coverage,
         )
 
     def sample_profile(
@@ -153,45 +177,82 @@ class Coasts:
         profile: CoarseIntervalProfile,
         benchmark: str,
         total_instructions: int,
+        discarded_coverage: float = 0.0,
     ) -> SamplingPlan:
         """Step 3 on an existing coarse profile."""
-        signatures = self.signatures(profile)
-        result, _ = cluster_with_bic(
-            signatures,
-            kmax=self.config.coarse_kmax,
-            seed=self.config.random_seed,
-            n_seeds=self.config.kmeans_seeds,
-            threshold=self.config.bic_threshold,
-        )
-        labels = result.labels
-        k = result.k
-        picks = earliest_member(labels, k)
-
-        insts = profile.instructions.astype(np.float64)
-        covered = insts.sum()
-        if covered <= 0:
-            raise SamplingError("coarse profile covers no instructions")
-
-        points: List[SimulationPoint] = []
-        for phase in range(k):
-            pick = int(picks[phase])
-            if pick < 0:
-                continue
-            weight = float(insts[labels == phase].sum() / covered)
-            points.append(
-                SimulationPoint(
-                    start=int(profile.starts[pick]),
-                    end=profile.end_of(pick),
-                    weight=weight,
-                    phase=phase,
-                    interval_index=pick,
-                )
+        span_ctx = (
+            self.obs.tracer.span(
+                "sampling", method=self.method_name, benchmark=benchmark
             )
-        points.sort(key=lambda p: p.start)
-        return SamplingPlan(
-            method=self.method_name,
-            benchmark=benchmark,
-            points=tuple(points),
-            total_instructions=total_instructions,
-            n_clusters=k,
+            if self.obs is not None else nullcontext()
         )
+        with span_ctx as span:
+            signatures = self.signatures(profile)
+            result, _ = cluster_with_bic(
+                signatures,
+                kmax=self.config.coarse_kmax,
+                seed=self.config.random_seed,
+                n_seeds=self.config.kmeans_seeds,
+                threshold=self.config.bic_threshold,
+            )
+            labels = result.labels
+            k = result.k
+            picks = earliest_member(labels, k)
+
+            insts = profile.instructions.astype(np.float64)
+            covered = insts.sum()
+            if covered <= 0:
+                raise SamplingError("coarse profile covers no instructions")
+
+            weights = np.array([
+                float(insts[labels == phase].sum() / covered)
+                for phase in range(k)
+            ])
+            points: List[SimulationPoint] = []
+            for phase in range(k):
+                pick = int(picks[phase])
+                if pick < 0:
+                    continue
+                points.append(
+                    SimulationPoint(
+                        start=int(profile.starts[pick]),
+                        end=profile.end_of(pick),
+                        weight=float(weights[phase]),
+                        phase=phase,
+                        interval_index=pick,
+                    )
+                )
+            points.sort(key=lambda p: p.start)
+
+            quality = cluster_quality(signatures, result)
+            interval_bounds = [
+                (int(profile.starts[i]), profile.end_of(i))
+                for i in range(profile.n_instances)
+            ]
+            self.last_diagnostics = build_method_diag(
+                method=self.method_name,
+                benchmark=benchmark,
+                labels=labels,
+                picks=picks,
+                weights=weights,
+                bounds=interval_bounds,
+                instructions=profile.instructions,
+                quality=quality,
+                resample_threshold=self.config.resample_threshold,
+                coverage_discarded=discarded_coverage,
+            )
+            if span is not None:
+                span.set(
+                    n_intervals=profile.n_instances,
+                    n_clusters=k,
+                    coverage_discarded=round(discarded_coverage, 6),
+                    oversized_points=self.last_diagnostics.n_oversized,
+                    mean_silhouette=round(quality.mean_silhouette, 4),
+                )
+            return SamplingPlan(
+                method=self.method_name,
+                benchmark=benchmark,
+                points=tuple(points),
+                total_instructions=total_instructions,
+                n_clusters=k,
+            )

@@ -30,12 +30,14 @@ class EarlySimPoint(SimPoint):
         kmax: int | None = None,
         max_cluster_samples: int = DEFAULT_MAX_CLUSTER_SAMPLES,
         tolerance: float = 0.30,
+        obs=None,
     ) -> None:
         super().__init__(
             config,
             interval_size=interval_size,
             kmax=kmax,
             max_cluster_samples=max_cluster_samples,
+            obs=obs,
         )
         if tolerance < 0:
             raise SamplingError("tolerance must be non-negative")

@@ -82,6 +82,71 @@ def plan_ranges(plan: SamplingPlan) -> List[PointRange]:
     return [(leaf.start, leaf.end) for leaf in plan.leaves()]
 
 
+def simulate_tagged_ranges(
+    simulator: TimingSimulator,
+    tagged: Dict[object, Iterable[PointRange]],
+) -> Dict[object, SimulationResult]:
+    """Detail-simulate overlapping *groups* of ranges in one warmed pass.
+
+    *tagged* maps an opaque tag (e.g. ``(method, phase)``) to the ranges
+    whose merged metrics that tag should accumulate; ranges within a tag
+    must be disjoint (they may abut), ranges of *different* tags may
+    overlap arbitrarily.  Like :func:`simulate_point_set` this walks the
+    trace once from 0 with full functional warming, so each tag's result
+    is exactly what a baseline run would have booked over those
+    stretches — the accuracy diagnostics use this to compute true
+    per-phase metric means for every method at the cost of one extra
+    detailed pass, not one per phase.
+
+    The active-tag set is maintained with start/end events (a counter
+    per tag, since a tag's next range may abut the previous one), so the
+    sweep is O((B + R) log R) bookkeeping on top of the simulation
+    itself.
+    """
+    groups = {tag: sorted(set(ranges)) for tag, ranges in tagged.items()}
+    for tag, ranges in groups.items():
+        previous_end = None
+        for start, end in ranges:
+            if end <= start or start < 0:
+                raise SamplingError(f"bad point range [{start}, {end})")
+            if previous_end is not None and start < previous_end:
+                raise SamplingError(
+                    f"tag {tag!r}: ranges overlap at {start}"
+                )
+            previous_end = end
+    results = {tag: SimulationResult() for tag in groups}
+    starts_at: Dict[int, List[object]] = {}
+    ends_at: Dict[int, List[object]] = {}
+    for tag, ranges in groups.items():
+        for start, end in ranges:
+            starts_at.setdefault(start, []).append(tag)
+            ends_at.setdefault(end, []).append(tag)
+    boundaries = sorted({0} | set(starts_at) | set(ends_at))
+    if len(boundaries) < 2:
+        return results
+
+    active: Dict[object, int] = {}
+    state = simulator.new_state()
+    throwaway = SimulationResult()
+    for a, b in zip(boundaries[:-1], boundaries[1:]):
+        for tag in ends_at.get(a, ()):
+            remaining = active.get(tag, 0) - 1
+            if remaining <= 0:
+                active.pop(tag, None)
+            else:
+                active[tag] = remaining
+        for tag in starts_at.get(a, ()):
+            active[tag] = active.get(tag, 0) + 1
+        if not active:
+            simulator.simulate_range(a, b, state=state, result=throwaway)
+            continue
+        piece = SimulationResult()
+        simulator.simulate_range(a, b, state=state, result=piece)
+        for tag in active:
+            results[tag].merge(piece)
+    return results
+
+
 def simulate_leaf(
     simulator: TimingSimulator,
     leaf: SimulationPoint,

@@ -16,12 +16,15 @@ Section III-B) — visible in our Table II reproduction too.
 
 from __future__ import annotations
 
+import copy
 from typing import List, Optional
 
 from ..config import DEFAULT_SAMPLING, SamplingConfig
 from ..engine.functional import FunctionalSimulator
 from ..engine.trace import Trace
 from ..errors import SamplingError
+from ..obs import ObsContext
+from ..obs.diag import MethodDiag
 from .coasts import Coasts
 from .points import SamplingPlan, SimulationPoint
 from .simpoint import SimPoint
@@ -37,27 +40,40 @@ class MultiLevelSampler:
         config: SamplingConfig = DEFAULT_SAMPLING,
         coarse: Optional[Coasts] = None,
         fine: Optional[SimPoint] = None,
+        obs: Optional[ObsContext] = None,
     ) -> None:
         self.config = config
-        self.coarse = coarse or Coasts(config)
+        self.obs = obs
+        self.coarse = coarse or Coasts(config, obs=obs)
         self.fine = fine or SimPoint(config)
         if self.config.resample_threshold < self.fine.interval_size:
             raise SamplingError(
                 "resample threshold smaller than the fine interval size"
             )
+        #: Diagnostics of the most recent :meth:`sample` call: the coarse
+        #: clustering's diagnostics with the re-sampled phases marked
+        #: (None when the coarse diagnostics were unavailable).
+        self.last_diagnostics: Optional[MethodDiag] = None
 
     # ------------------------------------------------------------------
     def sample(
-        self, trace: Trace, benchmark: str = "", coarse_plan: SamplingPlan | None = None
+        self,
+        trace: Trace,
+        benchmark: str = "",
+        coarse_plan: SamplingPlan | None = None,
+        coarse_diag: Optional[MethodDiag] = None,
     ) -> SamplingPlan:
         """Produce the multi-level plan for *trace*.
 
         An existing COASTS plan can be passed to avoid re-clustering when
-        both are evaluated side by side (as the harness does).
+        both are evaluated side by side (as the harness does); pass the
+        matching *coarse_diag* alongside so the multi-level diagnostics
+        can be derived without re-clustering either.
         """
         benchmark = benchmark or trace.spec.name
         if coarse_plan is None:
             coarse_plan = self.coarse.sample(trace, benchmark=benchmark)
+            coarse_diag = self.coarse.last_diagnostics
         functional = FunctionalSimulator(trace)
 
         points: List[SimulationPoint] = []
@@ -66,6 +82,26 @@ class MultiLevelSampler:
                 points.append(point)
                 continue
             points.append(self._resample(functional, point, benchmark))
+
+        # The second level re-samples *within* phases, so the phase
+        # structure — weights, members, cluster quality — is the coarse
+        # clustering's; only the representative terms differ (the
+        # harness computes those from the plan's leaves).
+        self.last_diagnostics = None
+        if coarse_diag is not None:
+            diag = copy.deepcopy(coarse_diag)
+            diag.method = self.method_name
+            for point in points:
+                row = diag.phase_by_id(point.phase)
+                if row is not None and point.is_resampled:
+                    row.resampled = True
+            self.last_diagnostics = diag
+            if self.obs is not None:
+                self.obs.tracer.start_span(
+                    "sampling", method=self.method_name, benchmark=benchmark,
+                    resampled_points=sum(1 for p in points if p.is_resampled),
+                    n_clusters=coarse_plan.n_clusters,
+                ).end()
 
         return SamplingPlan(
             method=self.method_name,

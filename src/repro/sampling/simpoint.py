@@ -17,6 +17,7 @@ bounds clustering cost on long programs.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from typing import List, Optional
 
 import numpy as np
@@ -24,12 +25,15 @@ import numpy as np
 from ..analysis.bbv import normalize_rows
 from ..analysis.bic import cluster_with_bic
 from ..analysis.distance import assign_points, nearest_to_centroid
+from ..analysis.kmeans import KMeansResult, cluster_quality
 from ..analysis.metrics import metric_matrix
 from ..analysis.projection import RandomProjection
 from ..config import DEFAULT_SAMPLING, SamplingConfig
 from ..engine.profiles import FixedIntervalProfile
 from ..errors import SamplingError
 from ..isa.program import Program
+from ..obs import ObsContext
+from ..obs.diag import MethodDiag, build_method_diag
 from .points import SamplingPlan, SimulationPoint
 
 #: Clustering runs on at most this many intervals (SimPoint-style sampling).
@@ -48,6 +52,7 @@ class SimPoint:
         kmax: Optional[int] = None,
         max_cluster_samples: int = DEFAULT_MAX_CLUSTER_SAMPLES,
         metric: str = "bbv",
+        obs: Optional[ObsContext] = None,
     ) -> None:
         self.config = config
         self.interval_size = interval_size or config.fine_interval_size
@@ -58,6 +63,13 @@ class SimPoint:
         #: Phase metric: "bbv" (default), "loop_frequency" or "working_set"
         #: (the Section II alternatives; non-BBV metrics need `program`).
         self.metric = metric
+        #: Observability context: when present, sampling runs inside a
+        #: ``sampling`` span carrying clustering-quality attributes.
+        self.obs = obs
+        #: Clustering-quality diagnostics of the most recent
+        #: :meth:`sample` call (EarlySP inherits this — only the
+        #: representative-selection rule differs).
+        self.last_diagnostics: Optional[MethodDiag] = None
 
     # ------------------------------------------------------------------
     def sample(
@@ -76,34 +88,72 @@ class SimPoint:
                 f"profile interval size {profile.interval_size} != sampler's "
                 f"{self.interval_size}"
             )
-        features = self._project(profile, program)
-        labels, centroids, k = self._cluster(features)
-        weights = self._weights(profile, labels, k)
-        picks = self._select(features, labels, centroids)
-
-        points: List[SimulationPoint] = []
-        for phase in range(k):
-            pick = int(picks[phase])
-            if pick < 0:
-                continue
-            points.append(
-                SimulationPoint(
-                    start=int(profile.starts[pick]),
-                    end=profile.end_of(pick),
-                    weight=float(weights[phase]),
-                    phase=phase,
-                    interval_index=pick,
-                )
+        span_ctx = (
+            self.obs.tracer.span(
+                "sampling", method=self.method_name, benchmark=benchmark
             )
-        points.sort(key=lambda p: p.start)
-        return SamplingPlan(
-            method=self.method_name,
-            benchmark=benchmark,
-            points=tuple(points),
-            total_instructions=profile.total_instructions,
-            n_clusters=k,
-            origin=int(profile.starts[0]),
+            if self.obs is not None else nullcontext()
         )
+        with span_ctx as span:
+            features = self._project(profile, program)
+            labels, centroids, k = self._cluster(features)
+            weights = self._weights(profile, labels, k)
+            picks = self._select(features, labels, centroids)
+
+            points: List[SimulationPoint] = []
+            for phase in range(k):
+                pick = int(picks[phase])
+                if pick < 0:
+                    continue
+                points.append(
+                    SimulationPoint(
+                        start=int(profile.starts[pick]),
+                        end=profile.end_of(pick),
+                        weight=float(weights[phase]),
+                        phase=phase,
+                        interval_index=pick,
+                    )
+                )
+            points.sort(key=lambda p: p.start)
+
+            # Quality statistics over the full assignment (clustering may
+            # have fitted a sub-sample; labels cover every interval).  The
+            # inertia slot is unused by cluster_quality, so a zero keeps
+            # this a view rather than a re-clustering.
+            quality = cluster_quality(
+                features,
+                KMeansResult(centroids=centroids, labels=labels, inertia=0.0),
+            )
+            interval_bounds = [
+                (int(profile.starts[i]), profile.end_of(i))
+                for i in range(profile.n_intervals)
+            ]
+            self.last_diagnostics = build_method_diag(
+                method=self.method_name,
+                benchmark=benchmark,
+                labels=labels,
+                picks=picks,
+                weights=weights,
+                bounds=interval_bounds,
+                instructions=profile.instructions,
+                quality=quality,
+                resample_threshold=self.config.resample_threshold,
+            )
+            if span is not None:
+                span.set(
+                    n_intervals=profile.n_intervals,
+                    n_clusters=k,
+                    oversized_points=self.last_diagnostics.n_oversized,
+                    mean_silhouette=round(quality.mean_silhouette, 4),
+                )
+            return SamplingPlan(
+                method=self.method_name,
+                benchmark=benchmark,
+                points=tuple(points),
+                total_instructions=profile.total_instructions,
+                n_clusters=k,
+                origin=int(profile.starts[0]),
+            )
 
     # ------------------------------------------------------------------
     def _project(

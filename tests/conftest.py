@@ -13,6 +13,18 @@ from repro.workloads import generate_workload, get_spec, scaled_spec
 TEST_SCALE = 0.04
 
 
+@pytest.fixture(autouse=True)
+def _isolate_history(tmp_path, monkeypatch):
+    """Keep the cross-run history out of the checkout during tests.
+
+    Every ``run``/``suite``/``bench`` CLI invocation appends to
+    ``.repro_history/`` by default; pointing the env override at the
+    test's tmp dir stops tests from polluting the working tree (and each
+    other).
+    """
+    monkeypatch.setenv("REPRO_HISTORY_DIR", str(tmp_path / "history"))
+
+
 @pytest.fixture(scope="session")
 def small_spec():
     """A shrunken gzip spec (4 regimes, tiny trip counts)."""

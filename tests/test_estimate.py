@@ -6,10 +6,12 @@ from repro.config import CONFIG_A
 from repro.detailed import TimingSimulator
 from repro.detailed.results import Deviation, Metrics, SimulationResult
 from repro.sampling import Coasts, SimPoint, evaluate_plan
+from repro.errors import SamplingError
 from repro.sampling.estimate import (
     estimate_plan,
     plan_ranges,
     simulate_point_set,
+    simulate_tagged_ranges,
 )
 
 
@@ -56,6 +58,49 @@ class TestSimulatePointSet:
 
     def test_empty_set(self, simulator):
         assert simulate_point_set(simulator, []) == {}
+
+
+class TestSimulateTaggedRanges:
+    def test_matches_point_set_for_single_range_tags(self, simulator,
+                                                     small_trace):
+        """One range per tag: identical numbers to simulate_point_set."""
+        total = small_trace.total_instructions
+        ranges = [(1000, 3000), (total // 2, total // 2 + 2000)]
+        tagged = {r: [r] for r in ranges}
+        by_tag = simulate_tagged_ranges(simulator, tagged)
+        by_range = simulate_point_set(simulator, ranges)
+        for r in ranges:
+            assert by_tag[r].instructions == by_range[r].instructions
+            assert by_tag[r].cycles == by_range[r].cycles
+
+    def test_tag_accumulates_disjoint_members(self, simulator):
+        """A tag's result merges all of its (possibly abutting) ranges."""
+        tagged = {
+            "a": [(1000, 2000), (2000, 3000)],  # abutting is legal
+            "b": [(1500, 2500)],  # overlaps tag "a" — legal across tags
+        }
+        results = simulate_tagged_ranges(simulator, tagged)
+        # Range ends land on basic-block boundaries, so counts may
+        # overshoot slightly — same contract as simulate_point_set.
+        assert 2000 <= results["a"].instructions < 2500
+        assert 1000 <= results["b"].instructions < 1500
+        assert results["a"].cycles > results["b"].cycles
+
+    def test_overlap_within_tag_rejected(self, simulator):
+        with pytest.raises(SamplingError):
+            simulate_tagged_ranges(
+                simulator, {"a": [(1000, 3000), (2000, 4000)]}
+            )
+
+    def test_bad_range_rejected(self, simulator):
+        with pytest.raises(SamplingError):
+            simulate_tagged_ranges(simulator, {"a": [(5, 5)]})
+
+    def test_empty(self, simulator):
+        assert simulate_tagged_ranges(simulator, {}) == {}
+        assert simulate_tagged_ranges(simulator, {"a": []}) == {
+            "a": SimulationResult()
+        }
 
 
 class TestEstimatePlan:

@@ -12,6 +12,8 @@ the byte-level shape of the ``--timing-json`` compatibility view.
 import json
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.cli import main
 from repro.config import CONFIG_A
@@ -217,6 +219,95 @@ class TestMetrics:
         text = render_prometheus(registry)
         assert r'site="we\"ird\\"' in text
 
+    # Prometheus text-format conformance: inside a label value, backslash,
+    # double-quote and newline must come out as \\, \" and \n — and
+    # backslash must be escaped first so the other escapes' own
+    # backslashes are not doubled.
+    @pytest.mark.parametrize("raw, escaped", [
+        ('say "hi"', r'say \"hi\"'),
+        ("back\\slash", r"back\\slash"),
+        ("line\nbreak", r"line\nbreak"),
+        ('\\"', r'\\\"'),
+        ("\\n", r"\\n"),  # a literal backslash-n, not a newline
+        ("\n\\\"", r'\n\\\"'),
+    ])
+    def test_prometheus_label_escaping_conformance(self, raw, escaped):
+        registry = MetricsRegistry()
+        registry.counter("c_total", site=raw).inc()
+        text = render_prometheus(registry)
+        assert f'site="{escaped}"' in text
+        # One line per sample: the newline never survives into the body.
+        body = [l for l in text.splitlines() if not l.startswith("#")]
+        assert len(body) == 1
+
+
+# ----------------------------------------------------------------------
+# metrics merge semantics (property-based)
+# ----------------------------------------------------------------------
+# One registry's worth of traffic: counter increments and histogram
+# observations with a small label alphabet.  Integer-valued draws keep
+# float addition exact, so associativity can be asserted as equality.
+_COUNTER_OP = st.tuples(
+    st.sampled_from(["c_one_total", "c_two_total"]),
+    st.sampled_from(["", "x", "y"]),
+    st.integers(0, 1000),
+)
+_HISTOGRAM_OP = st.tuples(
+    st.sampled_from(["h_one", "h_two"]),
+    st.integers(-5, 50),
+)
+_REGISTRY_OPS = st.tuples(
+    st.lists(_COUNTER_OP, max_size=8),
+    st.lists(_HISTOGRAM_OP, max_size=8),
+)
+
+
+def _registry_from(ops) -> MetricsRegistry:
+    counter_ops, histogram_ops = ops
+    registry = MetricsRegistry()
+    for name, label, value in counter_ops:
+        labels = {"site": label} if label else {}
+        registry.counter(name, **labels).inc(value)
+    for name, value in histogram_ops:
+        registry.histogram(name, buckets=(0.0, 10.0)).observe(value)
+    return registry
+
+
+def _merged(*ops_sequence) -> dict:
+    target = _registry_from(ops_sequence[0])
+    for ops in ops_sequence[1:]:
+        target.merge(_registry_from(ops))
+    return target.to_dict()
+
+
+class TestMergeProperties:
+    @given(a=_REGISTRY_OPS, b=_REGISTRY_OPS, c=_REGISTRY_OPS)
+    @settings(max_examples=60, deadline=None)
+    def test_merge_is_associative(self, a, b, c):
+        left = _registry_from(a)
+        left.merge(_registry_from(b))
+        left.merge(_registry_from(c))
+        bc = _registry_from(b)
+        bc.merge(_registry_from(c))
+        right = _registry_from(a)
+        right.merge(bc)
+        assert left.to_dict() == right.to_dict()
+
+    @given(a=_REGISTRY_OPS, b=_REGISTRY_OPS, c=_REGISTRY_OPS)
+    @settings(max_examples=60, deadline=None)
+    def test_merge_order_does_not_matter(self, a, b, c):
+        # Counter sums and histogram bucket counts are commutative, so
+        # the workers' shipping order must never change suite totals.
+        assert _merged(a, b, c) == _merged(a, c, b)
+
+    @given(a=_REGISTRY_OPS)
+    @settings(max_examples=30, deadline=None)
+    def test_merge_of_empty_is_identity(self, a):
+        target = _registry_from(a)
+        before = target.to_dict()
+        target.merge(MetricsRegistry())
+        assert target.to_dict() == before
+
 
 # ----------------------------------------------------------------------
 # instrumented harness
@@ -320,7 +411,7 @@ class TestHarnessInstrumentation:
         assert run["cache_hit"] is False
         assert set(run["stages"]) == {
             "trace_build", "profiling", "plan_construction", "baseline",
-            "point_simulation",
+            "point_simulation", "diagnostics",
         }
         assert all(
             isinstance(v, float) and v >= 0 for v in run["stages"].values()
@@ -377,6 +468,28 @@ class TestExport:
         assert "suite" in report and "run" in report
         assert "benchmark=gzip" in report
         assert "repro_x_total = 2" in report
+
+    def test_report_renders_metrics_only_dump(self, tmp_path):
+        """A dump with no spans (gauges/histograms only) still renders."""
+        registry = MetricsRegistry()
+        registry.gauge("repro_diag_phase_error",
+                       benchmark="gzip", method="coasts",
+                       phase="0", metric="cpi").set(0.25)
+        registry.gauge("repro_diag_phase_error",
+                       benchmark="gzip", method="coasts",
+                       phase="1", metric="cpi").set(-0.5)
+        registry.gauge("repro_lonely").set(7.0)
+        registry.histogram("repro_s").observe(0.25)
+        tracer = Tracer()  # no spans at all
+        path = tmp_path / "metrics.jsonl"
+        write_trace_jsonl(path, tracer, registry)
+        report = format_trace_report(read_trace_jsonl(path))
+        assert "0 root span(s)" in report
+        # Wide gauge families aggregate; singletons print their value.
+        assert "repro_diag_phase_error: 2 series, min -0.5, max 0.25" \
+            in report
+        assert "repro_lonely = 7" in report
+        assert "repro_s" in report and "count 1" in report
 
     def test_report_depth_limit(self, tmp_path):
         obs = self._context()
@@ -460,7 +573,16 @@ class TestCli:
         assert "benchmark=gzip" in out
         assert "plan_construction" in out
 
-    def test_obs_report_missing_file_exits_cleanly(self, capsys, tmp_path):
-        code = main(["obs", "report", str(tmp_path / "nope.jsonl")])
-        assert code == 70
-        assert "error:" in capsys.readouterr().err
+    def test_obs_report_missing_file_is_usage_error(self, capsys, tmp_path):
+        for sub in ("report", "diag"):
+            code = main(["obs", sub, str(tmp_path / "nope.jsonl")])
+            assert code == 2, sub
+            assert "no such trace file" in capsys.readouterr().err
+
+    def test_obs_report_corrupt_file_is_data_error(self, capsys, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("{not json\n")
+        for sub in ("report", "diag"):
+            code = main(["obs", sub, str(bad)])
+            assert code == 1, sub
+            assert "error:" in capsys.readouterr().err
