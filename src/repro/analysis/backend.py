@@ -33,44 +33,27 @@ whole process via ``$REPRO_ANALYSIS_BACKEND``.
 
 from __future__ import annotations
 
-import os
-from contextlib import contextmanager
 from typing import Iterator, Optional
 
+from ..backend import BACKENDS, BackendControl
 from ..errors import ClusteringError
 
 #: Environment variable overriding the default backend at import time.
 BACKEND_ENV = "REPRO_ANALYSIS_BACKEND"
 
-#: Recognised backend names, fastest first.
-BACKENDS = ("vectorized", "scalar")
-
-_active: Optional[str] = None
-
-
-def _validate(name: str) -> str:
-    if name not in BACKENDS:
-        raise ClusteringError(
-            f"unknown analysis backend {name!r} (choose from "
-            f"{', '.join(BACKENDS)})"
-        )
-    return name
+#: The analysis layer's process-global switch (module functions below
+#: are the public API; the control object is shared with tests).
+CONTROL = BackendControl(BACKEND_ENV, ClusteringError)
 
 
 def get_backend() -> str:
     """The active kernel backend name."""
-    global _active
-    if _active is None:
-        _active = _validate(os.environ.get(BACKEND_ENV, BACKENDS[0]))
-    return _active
+    return CONTROL.get()
 
 
 def set_backend(name: str) -> str:
     """Select the kernel backend; returns the previously active one."""
-    global _active
-    previous = get_backend()
-    _active = _validate(name)
-    return previous
+    return CONTROL.set(name)
 
 
 def resolve_backend(name: Optional[str]) -> str:
@@ -79,16 +62,9 @@ def resolve_backend(name: Optional[str]) -> str:
     The kernels call this on their ``backend=`` keyword so an explicit
     argument always wins over the process-global selection.
     """
-    if name is None:
-        return get_backend()
-    return _validate(name)
+    return CONTROL.resolve(name)
 
 
-@contextmanager
 def use_backend(name: str) -> Iterator[str]:
     """Context manager: run a block under *name*, then restore."""
-    previous = set_backend(name)
-    try:
-        yield name
-    finally:
-        set_backend(previous)
+    return CONTROL.use(name)

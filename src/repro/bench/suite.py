@@ -18,6 +18,7 @@ run on the real gzip trace at the requested scale.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from fnmatch import fnmatchcase
 from functools import lru_cache
 from typing import Any, Callable, List, Optional, Tuple
 
@@ -27,7 +28,8 @@ from ..analysis import cluster_with_bic, concat_signatures, project_bbvs
 from ..analysis.backend import use_backend
 from ..config import CONFIG_A, DEFAULT_SAMPLING, SamplingConfig
 from ..detailed.timing import TimingSimulator
-from ..engine.trace import Trace, build_trace
+from ..engine.functional import FunctionalSimulator
+from ..engine.trace import Trace, TraceBuilder, build_trace
 from ..errors import HarnessError
 from ..sampling.coasts import Coasts
 from ..sampling.multilevel import MultiLevelSampler
@@ -53,6 +55,9 @@ class BenchCase:
     backends: Tuple[str, ...]
     setup: Callable[[float], Any]
     run: Callable[[Any, str], Any]
+    #: Which backend switch the case exercises ("analysis" kernels or
+    #: the "engine" trace builder/profilers) — reported by ``--list``.
+    layer: str = "analysis"
 
 
 @lru_cache(maxsize=2)
@@ -136,6 +141,37 @@ def _run_detailed(trace: Trace, backend: str) -> None:
     TimingSimulator(trace, CONFIG_A).simulate_full()
 
 
+# ----------------------------------------------------------------------
+# engine cases: the trace unroll and the functional profiling passes,
+# measured per-call under both engine backends (``repro.engine.backend``
+# is independent of the analysis switch; the ``backend=`` keyword wins
+# over the process-global selection, so the suite needs no context
+# manager here).
+
+def _setup_trace_build(scale: float):
+    return load_workload(BENCH_WORKLOAD, scale=scale)
+
+
+def _run_trace_build(workload, backend: str) -> None:
+    TraceBuilder(workload).build(backend=backend)
+
+
+def _setup_functional(scale: float) -> FunctionalSimulator:
+    return FunctionalSimulator(_bench_trace(scale))
+
+
+def _run_coarse(sim: FunctionalSimulator, backend: str) -> None:
+    sim.profile_coarse_intervals(backend=backend)
+
+
+def _run_structures(sim: FunctionalSimulator, backend: str) -> None:
+    sim.profile_structures(backend=backend)
+
+
+def _run_functional(sim: FunctionalSimulator, backend: str) -> None:
+    sim.run(backend=backend)
+
+
 #: The suite, in reporting order.
 BENCH_SUITE: Tuple[BenchCase, ...] = (
     BenchCase(
@@ -165,18 +201,66 @@ BENCH_SUITE: Tuple[BenchCase, ...] = (
         backends=("vectorized",),
         setup=_setup_detailed,
         run=_run_detailed,
+        layer="detailed",
+    ),
+    BenchCase(
+        name="trace_build",
+        description="trace unroll from workload schedule (gzip)",
+        backends=("vectorized", "scalar"),
+        setup=_setup_trace_build,
+        run=_run_trace_build,
+        layer="engine",
+    ),
+    BenchCase(
+        name="coarse_profile",
+        description="per-outer-iteration coarse BBV profile (gzip)",
+        backends=("vectorized", "scalar"),
+        setup=_setup_functional,
+        run=_run_coarse,
+        layer="engine",
+    ),
+    BenchCase(
+        name="structure_profile",
+        description="per-loop dynamic coverage profile (gzip)",
+        backends=("vectorized", "scalar"),
+        setup=_setup_functional,
+        run=_run_structures,
+        layer="engine",
+    ),
+    BenchCase(
+        name="functional_run",
+        description="whole-trace functional block counts (gzip)",
+        backends=("vectorized", "scalar"),
+        setup=_setup_functional,
+        run=_run_functional,
+        layer="engine",
     ),
 )
+
+
+def _case_matches(case: BenchCase, pattern: str) -> bool:
+    """A pattern selects by layer name (exact), glob, or substring."""
+    if pattern == case.layer:
+        return True
+    if any(ch in pattern for ch in "*?["):
+        return fnmatchcase(case.name, pattern)
+    return pattern in case.name
 
 
 def select_cases(
     pattern: Optional[str] = None,
     suite: Tuple[BenchCase, ...] = BENCH_SUITE,
 ) -> List[BenchCase]:
-    """Cases whose name contains *pattern* (all of them when None)."""
+    """Cases matching *pattern* (all of them when None).
+
+    A plain pattern matches as a substring of the case name; one with
+    glob metacharacters (``trace_*``) matches the whole name via
+    :func:`fnmatch.fnmatchcase`; a layer name (``engine``,
+    ``analysis``) selects that layer's cases.
+    """
     if pattern is None:
         return list(suite)
-    chosen = [case for case in suite if pattern in case.name]
+    chosen = [case for case in suite if _case_matches(case, pattern)]
     if not chosen:
         raise HarnessError(
             f"no bench case matches {pattern!r} (have "

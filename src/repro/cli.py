@@ -380,11 +380,15 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 
 def _cmd_bench(args: argparse.Namespace) -> int:
     """Run the microbenchmark suite; write and optionally compare."""
+    if args.scale <= 0:
+        raise HarnessError(f"scale must be > 0, got {args.scale}")
+    if args.reps <= 0:
+        raise HarnessError(f"reps must be >= 1, got {args.reps}")
     cases = select_cases(args.filter)
     if args.list:
         for case in cases:
             print(f"{case.name}: {case.description} "
-                  f"[{', '.join(case.backends)}]")
+                  f"[{case.layer}: {', '.join(case.backends)}]")
         return 0
 
     baseline = None
@@ -600,8 +604,10 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--warmup", type=int, default=1, metavar="N",
                        help="unmeasured warm-up runs per case and backend "
                             "(default: 1)")
-    bench.add_argument("--filter", default=None, metavar="SUBSTR",
-                       help="only cases whose name contains SUBSTR")
+    bench.add_argument("--filter", default=None, metavar="PATTERN",
+                       help="only cases whose name contains PATTERN "
+                            "(glob patterns match the whole name; a "
+                            "layer name selects that layer)")
     bench.add_argument("--list", action="store_true",
                        help="list the matching cases and exit")
     # The bench suite has its own scale default: trace-backed cases use

@@ -187,7 +187,7 @@ class TimingSimulator:
         """The (lazily built, memoised) statics of segment *seg_index*."""
         statics = self._seg_statics[seg_index]
         if statics is None:
-            seg = self.trace.segments[seg_index]
+            seg = self.trace.segment_at(seg_index)
             last_index = len(seg.blocks) - 1
             plain_branches = 0
             plain_rate_sum = 0.0

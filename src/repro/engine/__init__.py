@@ -1,5 +1,6 @@
 """Dynamic trace generation, functional simulation and profiling."""
 
+from .backend import get_backend, resolve_backend, set_backend, use_backend
 from .functional import FunctionalSimulator
 from .profiles import (
     CoarseIntervalProfile,
@@ -8,7 +9,15 @@ from .profiles import (
     StructureProfile,
     StructureProfiles,
 )
-from .trace import Segment, SegmentPiece, Trace, TraceBuilder, build_trace
+from .shm import attach_or_none, attach_trace, share_trace, shm_enabled
+from .trace import (
+    TRACE_ARRAY_FIELDS,
+    Segment,
+    SegmentPiece,
+    Trace,
+    TraceBuilder,
+    build_trace,
+)
 
 __all__ = [
     "CoarseIntervalProfile",
@@ -19,7 +28,16 @@ __all__ = [
     "SegmentPiece",
     "StructureProfile",
     "StructureProfiles",
+    "TRACE_ARRAY_FIELDS",
     "Trace",
     "TraceBuilder",
+    "attach_or_none",
+    "attach_trace",
     "build_trace",
+    "get_backend",
+    "resolve_backend",
+    "set_backend",
+    "share_trace",
+    "shm_enabled",
+    "use_backend",
 ]

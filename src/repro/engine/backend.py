@@ -1,0 +1,59 @@
+"""Kernel backend selection for the engine layer.
+
+The engine's hot paths — trace unrolling (:class:`~repro.engine.trace.
+TraceBuilder`), the whole-trace functional run and the coarse/structure
+profilers (:class:`~repro.engine.functional.FunctionalSimulator`) —
+follow the same pattern as the analysis kernels: a batched
+``vectorized`` implementation is the default, and the original Python
+loops are retained as the ``scalar`` reference the vectorized paths are
+differentially tested against, bit-identical output included (same
+flat arrays, same profiles, same RNG draw order).
+
+The switch is independent of the analysis layer's: ``$REPRO_ENGINE_
+BACKEND`` selects the engine backend for a whole process, and the
+module-level functions below mirror :mod:`repro.analysis.backend`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from ..backend import BACKENDS, BackendControl
+from ..errors import TraceError
+
+#: Environment variable overriding the default backend at first use.
+BACKEND_ENV = "REPRO_ENGINE_BACKEND"
+
+#: The engine layer's process-global switch.
+CONTROL = BackendControl(BACKEND_ENV, TraceError)
+
+
+def get_backend() -> str:
+    """The active engine backend name."""
+    return CONTROL.get()
+
+
+def set_backend(name: str) -> str:
+    """Select the engine backend; returns the previously active one."""
+    return CONTROL.set(name)
+
+
+def resolve_backend(name: Optional[str]) -> str:
+    """*name* itself if given (validated), else the active backend."""
+    return CONTROL.resolve(name)
+
+
+def use_backend(name: str) -> Iterator[str]:
+    """Context manager: run a block under *name*, then restore."""
+    return CONTROL.use(name)
+
+
+__all__ = [
+    "BACKEND_ENV",
+    "BACKENDS",
+    "CONTROL",
+    "get_backend",
+    "resolve_backend",
+    "set_backend",
+    "use_backend",
+]

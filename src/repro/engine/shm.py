@@ -1,0 +1,173 @@
+"""Zero-copy trace sharing across processes via POSIX shared memory.
+
+The parallel suite driver fans (benchmark, config) runs out over a
+process pool.  Traces are deterministic, so workers *can* rebuild them
+locally — but with C configs per benchmark the same trace gets unrolled
+C times across the pool.  Instead the parent builds each benchmark's
+trace once, publishes its canonical arrays (:data:`~repro.engine.trace.
+TRACE_ARRAY_FIELDS`) into one named ``multiprocessing.shared_memory``
+segment, and ships only the small :func:`share_trace` handle (segment
+name + per-field offsets) through the task payload.  Workers attach
+read-only ``np.ndarray`` views over the same physical pages — no copy,
+no pickling of multi-megabyte arrays — and reconstruct a
+:class:`~repro.engine.trace.Trace` around them.
+
+Identity: the attached arrays are the parent's bytes, and the builder
+is bit-identical across backends, so parallel results match serial
+results byte for byte (asserted by the suite tests).
+
+Lifecycle and crash-safety:
+
+* the parent owns every segment: it creates them before the pool spins
+  up and closes **and unlinks** them in a ``finally`` — pool respawns
+  after a worker crash simply re-attach by name;
+* workers never unlink; an attached trace keeps its
+  :class:`~multiprocessing.shared_memory.SharedMemory` alive via
+  ``trace._shm`` and the mapping dies with the worker process — even a
+  SIGKILLed worker leaks nothing, because the parent still unlinks;
+* under the default ``fork`` start method every process shares the
+  parent's ``resource_tracker``, whose per-type cache is a set, so the
+  duplicate attach-side registrations collapse and the parent's single
+  ``unlink`` leaves the tracker clean (no spurious leak warnings);
+* a worker whose attach fails (segment already torn down, exotic
+  platform without POSIX shm) falls back to rebuilding the trace
+  locally — slower, never wrong — and counts the fallback.
+
+``$REPRO_TRACE_SHM=0`` disables sharing entirely (workers rebuild, the
+pre-shm behaviour).  Counters: ``repro_trace_shm_shared_total`` /
+``_bytes_total`` (parent), ``_attached_total`` / ``_fallbacks_total``
+(workers, merged back into the suite registry).
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+from multiprocessing import shared_memory
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..errors import TraceError
+from ..obs import (
+    TRACE_SHM_ATTACHED,
+    TRACE_SHM_BYTES,
+    TRACE_SHM_FALLBACKS,
+    TRACE_SHM_SHARED,
+    MetricsRegistry,
+)
+from ..workloads.generator import Workload
+from .trace import TRACE_ARRAY_FIELDS, Trace
+
+#: Environment variable gating shared-memory trace transport (default on;
+#: set to ``0``/``off``/``false`` to force workers to rebuild locally).
+SHM_ENV = "REPRO_TRACE_SHM"
+
+_ITEMSIZE = np.dtype(np.int64).itemsize
+_SEQUENCE = itertools.count()
+
+
+def shm_enabled() -> bool:
+    """Whether shared-memory trace transport is enabled for this process."""
+    value = os.environ.get(SHM_ENV, "1").strip().lower()
+    return value not in ("0", "false", "off", "no")
+
+
+def share_trace(
+    trace: Trace, metrics: Optional[MetricsRegistry] = None
+) -> Tuple[shared_memory.SharedMemory, Dict[str, object]]:
+    """Publish *trace*'s canonical arrays into one shared-memory segment.
+
+    Returns the segment (the caller owns it: keep it referenced, then
+    ``close()`` + ``unlink()`` when the consumers are done) and the
+    small picklable handle workers pass to :func:`attach_trace`.
+    """
+    arrays = trace.arrays()
+    fields: Dict[str, Tuple[int, int]] = {}
+    offset = 0
+    for field in TRACE_ARRAY_FIELDS:
+        fields[field] = (offset, len(arrays[field]))
+        offset += len(arrays[field]) * _ITEMSIZE
+    total = max(offset, 1)
+
+    segment = None
+    while segment is None:
+        name = f"repro-trace-{os.getpid()}-{next(_SEQUENCE)}"
+        try:
+            segment = shared_memory.SharedMemory(
+                name=name, create=True, size=total
+            )
+        except FileExistsError:  # stale name from a previous run
+            continue
+    for field in TRACE_ARRAY_FIELDS:
+        off, length = fields[field]
+        view = np.ndarray(
+            (length,), dtype=np.int64, buffer=segment.buf, offset=off
+        )
+        view[:] = arrays[field]
+    handle = {"shm_name": segment.name, "fields": fields}
+    if metrics is not None:
+        metrics.counter(TRACE_SHM_SHARED).inc()
+        metrics.counter(TRACE_SHM_BYTES).inc(float(total))
+    return segment, handle
+
+
+def attach_trace(
+    workload: Workload,
+    handle: Dict[str, object],
+    metrics: Optional[MetricsRegistry] = None,
+) -> Trace:
+    """Reconstruct a read-only :class:`Trace` over a shared segment.
+
+    The returned trace's canonical arrays are zero-copy views of the
+    parent's pages (writes are refused: the views are non-writeable).
+    The segment stays mapped for the trace's lifetime via ``trace._shm``.
+    Raises :class:`TraceError` when the segment cannot be attached;
+    callers are expected to fall back to building locally.
+    """
+    try:
+        segment = shared_memory.SharedMemory(name=str(handle["shm_name"]))
+    except (OSError, ValueError) as error:
+        raise TraceError(
+            f"cannot attach shared trace {handle.get('shm_name')!r}: {error}"
+        ) from error
+    try:
+        arrays: Dict[str, np.ndarray] = {}
+        for field in TRACE_ARRAY_FIELDS:
+            off, length = handle["fields"][field]  # type: ignore[index]
+            view = np.ndarray(
+                (length,), dtype=np.int64, buffer=segment.buf, offset=off
+            )
+            view.flags.writeable = False
+            arrays[field] = view
+        trace = Trace(workload, arrays=arrays)
+    except Exception:
+        segment.close()
+        raise
+    trace._shm = segment
+    if metrics is not None:
+        metrics.counter(TRACE_SHM_ATTACHED).inc()
+    return trace
+
+
+def attach_or_none(
+    workload: Workload,
+    handle: Dict[str, object],
+    metrics: Optional[MetricsRegistry] = None,
+) -> Optional[Trace]:
+    """:func:`attach_trace`, degrading to ``None`` (counted) on failure."""
+    try:
+        return attach_trace(workload, handle, metrics=metrics)
+    except (TraceError, KeyError, TypeError):
+        if metrics is not None:
+            metrics.counter(TRACE_SHM_FALLBACKS).inc()
+        return None
+
+
+__all__ = [
+    "SHM_ENV",
+    "attach_or_none",
+    "attach_trace",
+    "share_trace",
+    "shm_enabled",
+]

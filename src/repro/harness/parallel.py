@@ -41,6 +41,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Callable, Dict, Optional, Sequence, Set, Tuple
 
 from ..config import MachineConfig
+from ..engine.shm import share_trace, shm_enabled
 from ..errors import HarnessError, ReproError
 from ..obs import (
     POOL_RESPAWNS,
@@ -94,6 +95,29 @@ def _worker_obs(runner: "ExperimentRunner") -> dict:
     }
 
 
+def _adopt_shared_trace(runner: "ExperimentRunner", payload: dict) -> None:
+    """Attach the task's shared-memory trace into the worker's memo.
+
+    Zero-copy: the runner's trace becomes a read-only view over the
+    parent's pages.  Any attach failure degrades (counted) to the
+    pre-shm behaviour — the worker rebuilds the trace locally, which is
+    bit-identical by construction, so results never depend on whether
+    the attach succeeded.
+    """
+    from ..engine.shm import attach_or_none
+    from ..workloads.registry import load_workload
+
+    handle = (payload.get("trace_shm") or {}).get(payload["benchmark"])
+    if handle is None:
+        return
+    workload = load_workload(
+        payload["benchmark"], scale=payload["workload_scale"]
+    )
+    trace = attach_or_none(workload, handle, metrics=runner.obs.metrics)
+    if trace is not None:
+        runner.adopt_trace(payload["benchmark"], trace)
+
+
 def _worker_run(payload: dict) -> tuple:
     """Execute one pipeline run inside a worker process.
 
@@ -121,6 +145,7 @@ def _worker_run(payload: dict) -> tuple:
         methods=payload["methods"],
         diagnostics=payload.get("diagnostics", True),
     )
+    _adopt_shared_trace(runner, payload)
     try:
         run = runner.run_benchmark(payload["benchmark"], payload["config"])
     except ReproError as error:
@@ -211,6 +236,20 @@ def run_tasks_parallel(
     running_since: Dict[Future, float] = {}
 
     metrics = runner.obs.metrics
+
+    # Publish each benchmark's trace once; workers attach zero-copy.
+    # The parent owns the segments and unlinks them in the finally —
+    # pool respawns re-attach by name, dead workers leak nothing.
+    shm_segments = []
+    if shm_enabled():
+        trace_handles: Dict[str, dict] = {}
+        for benchmark in dict.fromkeys(b for b, _ in tasks):
+            segment, handle = share_trace(
+                runner.trace(benchmark), metrics=metrics
+            )
+            shm_segments.append(segment)
+            trace_handles[benchmark] = handle
+        payload_base["trace_shm"] = trace_handles
 
     def _merge_obs(payload: Optional[dict]) -> None:
         """Fold one worker's shipment into the parent's collectors.
@@ -414,4 +453,11 @@ def run_tasks_parallel(
         raise
     else:
         pool.shutdown()
+    finally:
+        for segment in shm_segments:
+            try:
+                segment.close()
+                segment.unlink()
+            except OSError:  # pragma: no cover - already gone
+                pass
     return assemble_outcome(tasks, results, failures)

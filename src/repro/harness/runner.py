@@ -265,6 +265,11 @@ class ExperimentRunner:
             self._traces[benchmark] = build_trace(workload)
         return self._traces[benchmark]
 
+    def adopt_trace(self, benchmark: str, trace: Trace) -> None:
+        """Install an externally built trace (e.g. a shared-memory view)
+        into the memo, so :meth:`trace` never rebuilds it."""
+        self._traces[benchmark] = trace
+
     def plans(
         self, benchmark: str, _record: Optional[RunTiming] = None
     ) -> Dict[str, SamplingPlan]:

@@ -64,6 +64,10 @@ from .metrics import (
     RUN_TIMEOUTS,
     RUNS_COMPLETED,
     STAGE_SECONDS,
+    TRACE_SHM_ATTACHED,
+    TRACE_SHM_BYTES,
+    TRACE_SHM_FALLBACKS,
+    TRACE_SHM_SHARED,
     WORKER_CRASHES,
     Counter,
     Gauge,
@@ -103,6 +107,10 @@ __all__ = [
     "RunManifest",
     "STAGE_SECONDS",
     "Span",
+    "TRACE_SHM_ATTACHED",
+    "TRACE_SHM_BYTES",
+    "TRACE_SHM_FALLBACKS",
+    "TRACE_SHM_SHARED",
     "TraceDump",
     "Tracer",
     "WORKER_CRASHES",

@@ -46,6 +46,10 @@ DETAILED_INSTRUCTIONS = "repro_detailed_instructions_total"
 DETAILED_CALLS = "repro_detailed_calls_total"
 FUNCTIONAL_INSTRUCTIONS = "repro_functional_instructions_total"
 PROFILE_PASSES = "repro_profile_passes_total"
+TRACE_SHM_SHARED = "repro_trace_shm_shared_total"
+TRACE_SHM_ATTACHED = "repro_trace_shm_attached_total"
+TRACE_SHM_FALLBACKS = "repro_trace_shm_fallbacks_total"
+TRACE_SHM_BYTES = "repro_trace_shm_bytes_total"
 
 #: Default histogram bucket upper bounds (seconds) — spans pipeline
 #: stages from sub-millisecond cache hits to multi-minute baselines.

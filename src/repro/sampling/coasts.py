@@ -122,8 +122,9 @@ class Coasts:
         run of its segments is one instance."""
         spans: List[Tuple[int, int]] = []
         current: Tuple[int, int] | None = None
-        for index, seg in enumerate(trace.segments):
-            if seg.loop_id == loop_id:
+        loop_ids = trace.loop_id
+        for index in range(trace.n_segments):
+            if int(loop_ids[index]) == loop_id:
                 start, end = trace.segment_span(index)
                 if current is not None and start == current[1]:
                     current = (current[0], end)

@@ -67,6 +67,34 @@ class TestSuite:
             assert case.backends[0] == "vectorized"
             assert set(case.backends) <= {"vectorized", "scalar"}
 
+    def test_engine_cases_present_with_layer(self):
+        by_name = {case.name: case for case in BENCH_SUITE}
+        for name in ("trace_build", "coarse_profile", "structure_profile",
+                     "functional_run"):
+            assert by_name[name].layer == "engine"
+            assert by_name[name].backends == ("vectorized", "scalar")
+        assert by_name["kmeans_sweep"].layer == "analysis"
+
+    def test_trace_filter_selects_engine_case(self):
+        chosen = select_cases("trace_")
+        assert [case.name for case in chosen] == ["trace_build"]
+
+    def test_glob_filter_matches_whole_name(self):
+        assert [c.name for c in select_cases("trace_*")] == ["trace_build"]
+        assert [c.name for c in select_cases("*_profile")] == \
+            ["coarse_profile", "structure_profile"]
+
+    def test_layer_filter_selects_whole_layer(self):
+        chosen = select_cases("engine")
+        assert [case.name for case in chosen] == \
+            ["trace_build", "coarse_profile", "structure_profile",
+             "functional_run"]
+        assert all(case.layer == "engine" for case in chosen)
+
+    def test_unmatched_filter_raises(self):
+        with pytest.raises(HarnessError, match="no bench case"):
+            select_cases("no_such_case_*")
+
 
 class TestRunner:
     def test_run_counts_and_timings(self):
@@ -160,6 +188,9 @@ class TestReport:
         }
         # The tentpole's acceptance floor: kmeans sweep >= 2x.
         assert baseline.min_speedups["kmeans_sweep"] >= 2.0
+        # The engine floors: coarse profiling >= 5x, trace build >= 2x.
+        assert baseline.min_speedups["coarse_profile"] >= 5.0
+        assert baseline.min_speedups["trace_build"] >= 2.0
 
 
 class TestCompare:
@@ -230,6 +261,31 @@ class TestBenchCLI:
         out = capsys.readouterr().out
         for case in BENCH_SUITE:
             assert case.name in out
+            assert f"[{case.layer}:" in out
+
+    def test_nonpositive_scale_exits_config_error(self, capsys, tmp_path):
+        code = main([
+            "bench", "--filter", "trace_build", "--scale", "0",
+            "--out", str(tmp_path / "bench.json"),
+        ])
+        assert code == 2
+        assert "scale" in capsys.readouterr().err
+
+    def test_negative_scale_exits_config_error(self, capsys, tmp_path):
+        code = main([
+            "bench", "--filter", "trace_build", "--scale", "-0.5",
+            "--out", str(tmp_path / "bench.json"),
+        ])
+        assert code == 2
+        assert "scale" in capsys.readouterr().err
+
+    def test_negative_reps_exits_config_error(self, capsys, tmp_path):
+        code = main([
+            "bench", "--filter", "trace_build", "--reps", "-3",
+            "--out", str(tmp_path / "bench.json"),
+        ])
+        assert code == 2
+        assert "reps" in capsys.readouterr().err
 
     def test_small_real_run_writes_report(self, capsys, tmp_path):
         out_path = tmp_path / "bench.json"

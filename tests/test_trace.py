@@ -113,6 +113,87 @@ class TestClip:
             list(small_trace.clip(0, small_trace.total_instructions + 1))
 
 
+class TestLocateEdges:
+    def test_locate_every_segment_boundary(self, small_trace):
+        """The first instruction of each segment locates to that segment,
+        and the instruction just before it to the previous one."""
+        for index in range(small_trace.n_segments):
+            start = int(small_trace.seg_starts[index])
+            assert small_trace.locate(start) == index
+            if start > 0:
+                assert small_trace.locate(start - 1) == index - 1
+
+    def test_locate_last_instruction(self, small_trace):
+        assert small_trace.locate(small_trace.total_instructions - 1) == \
+            small_trace.n_segments - 1
+
+
+def _multi_rep_index(trace):
+    """Index of a segment with several reps (rep-boundary test subject)."""
+    candidates = np.flatnonzero(trace.reps >= 4)
+    assert len(candidates)
+    return int(candidates[0])
+
+
+class TestClipEdges:
+    def test_clip_on_exact_rep_boundary(self, small_trace):
+        index = _multi_rep_index(small_trace)
+        seg_start, _ = small_trace.segment_span(index)
+        rep_len = int(small_trace.rep_lengths[index])
+        start = seg_start + 2 * rep_len
+        end = start + rep_len
+        (piece,) = list(small_trace.clip(start, end))
+        assert piece.seg_index == index
+        assert piece.rep_offset == 2
+        assert piece.n_reps == 1
+        assert piece.start_inst == start
+
+    def test_clip_mid_rep_rounds_outward(self, small_trace):
+        index = _multi_rep_index(small_trace)
+        seg_start, _ = small_trace.segment_span(index)
+        rep_len = int(small_trace.rep_lengths[index])
+        # One instruction inside rep 1 through one instruction into rep 2:
+        # both partial reps must be included whole.
+        pieces = list(small_trace.clip(seg_start + rep_len + 1,
+                                       seg_start + 2 * rep_len + 1))
+        (piece,) = pieces
+        assert piece.rep_offset == 1
+        assert piece.n_reps == 2
+        assert piece.start_inst == seg_start + rep_len
+
+    def test_clip_single_rep_segment_whole(self, small_trace):
+        index = int(np.flatnonzero(small_trace.reps == 1)[0])
+        start, end = small_trace.segment_span(index)
+        (piece,) = list(small_trace.clip(start, end))
+        assert piece.seg_index == index
+        assert piece.rep_offset == 0
+        assert piece.n_reps == 1
+        assert piece.segment.reps == 1
+
+    def test_clip_ending_on_segment_boundary_stops(self, small_trace):
+        """A clip whose end coincides with a segment start must not
+        yield a piece of that next segment."""
+        index = small_trace.n_segments // 2
+        boundary = int(small_trace.seg_starts[index])
+        pieces = list(small_trace.clip(0, boundary))
+        assert pieces[-1].seg_index == index - 1
+
+    def test_clip_spanning_prologue_boundary(self, small_trace):
+        """A range straddling prologue_end walks straight across the
+        prologue/main-phase seam."""
+        cut = small_trace.prologue_end
+        pieces = list(small_trace.clip(cut - 1, cut + 1))
+        indices = [p.seg_index for p in pieces]
+        assert indices == sorted(indices)
+        assert pieces[0].segment.outer_index == -1
+        assert pieces[-1].segment.outer_index >= 0
+
+    def test_clip_pieces_carry_seg_index(self, small_trace):
+        total = small_trace.total_instructions
+        for piece in small_trace.clip(total // 5, total // 2):
+            assert piece.segment is small_trace.segment_at(piece.seg_index)
+
+
 class TestGccTrace:
     def test_dominant_iteration_dominates(self):
         """gcc keeps its Section V-A pathology: one outer iteration holds

@@ -1,0 +1,189 @@
+"""Tests for zero-copy trace sharing over POSIX shared memory.
+
+Covers the three promises of :mod:`repro.engine.shm`: attached traces
+are byte-identical read-only views of the parent's arrays, the parallel
+suite built on them matches the serial path exactly (even across an
+injected worker kill), and the parent never leaks ``/dev/shm`` segments
+— teardown is owned by the driver's ``finally``, not by the workers.
+"""
+
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.config import CONFIG_A
+from repro.engine import (
+    FunctionalSimulator,
+    attach_or_none,
+    attach_trace,
+    share_trace,
+    shm_enabled,
+)
+from repro.engine.shm import SHM_ENV
+from repro.errors import TraceError
+from repro.harness import ExperimentRunner, ResultCache
+from repro.harness.faults import FAULTS_ENV
+from repro.obs import (
+    TRACE_SHM_ATTACHED,
+    TRACE_SHM_BYTES,
+    TRACE_SHM_FALLBACKS,
+    TRACE_SHM_SHARED,
+    MetricsRegistry,
+)
+
+from .conftest import TEST_SCALE
+
+SHM_DIR = Path("/dev/shm")
+
+
+def _repro_segments():
+    if not SHM_DIR.is_dir():  # pragma: no cover - non-Linux fallback
+        return []
+    return [p.name for p in SHM_DIR.iterdir()
+            if p.name.startswith("repro-trace-")]
+
+
+class TestShareAttach:
+    def test_roundtrip_bit_identical(self, small_trace, small_workload):
+        metrics = MetricsRegistry()
+        segment, handle = share_trace(small_trace, metrics=metrics)
+        try:
+            attached = attach_trace(small_workload, handle, metrics=metrics)
+            for field, array in small_trace.arrays().items():
+                assert np.array_equal(array, attached.arrays()[field]), field
+            assert attached.total_instructions == \
+                small_trace.total_instructions
+            assert metrics.value(TRACE_SHM_SHARED) == 1.0
+            assert metrics.value(TRACE_SHM_ATTACHED) == 1.0
+            assert metrics.value(TRACE_SHM_BYTES) > 0.0
+            del attached
+        finally:
+            segment.close()
+            segment.unlink()
+
+    def test_attached_views_are_read_only(self, small_trace,
+                                          small_workload):
+        segment, handle = share_trace(small_trace)
+        try:
+            attached = attach_trace(small_workload, handle)
+            with pytest.raises(ValueError):
+                attached.reps[0] = 99
+            with pytest.raises(ValueError):
+                attached.flat_blocks[0] = 1
+            del attached
+        finally:
+            segment.close()
+            segment.unlink()
+
+    def test_attached_trace_profiles_identically(self, small_trace,
+                                                 small_workload):
+        segment, handle = share_trace(small_trace)
+        try:
+            attached = attach_trace(small_workload, handle)
+            local = FunctionalSimulator(small_trace).run()
+            shared = FunctionalSimulator(attached).run()
+            assert np.array_equal(local.block_counts, shared.block_counts)
+            del attached
+        finally:
+            segment.close()
+            segment.unlink()
+
+    def test_handle_is_small_and_picklable(self, small_trace):
+        segment, handle = share_trace(small_trace)
+        try:
+            # The whole point: the payload ships a name + offsets, not
+            # the arrays themselves.
+            assert len(json.dumps(handle)) < 1000
+        finally:
+            segment.close()
+            segment.unlink()
+
+    def test_attach_failure_falls_back(self, small_workload, small_trace):
+        metrics = MetricsRegistry()
+        segment, handle = share_trace(small_trace)
+        segment.close()
+        segment.unlink()
+        with pytest.raises(TraceError, match="cannot attach"):
+            attach_trace(small_workload, handle)
+        assert attach_or_none(small_workload, handle,
+                              metrics=metrics) is None
+        assert metrics.value(TRACE_SHM_FALLBACKS) == 1.0
+
+    def test_no_segments_leaked(self, small_trace, small_workload):
+        before = set(_repro_segments())
+        segment, handle = share_trace(small_trace)
+        attached = attach_trace(small_workload, handle)
+        del attached
+        segment.close()
+        segment.unlink()
+        assert set(_repro_segments()) <= before
+
+    def test_env_gate(self, monkeypatch):
+        assert shm_enabled()
+        monkeypatch.setenv(SHM_ENV, "0")
+        assert not shm_enabled()
+        monkeypatch.setenv(SHM_ENV, "off")
+        assert not shm_enabled()
+        monkeypatch.setenv(SHM_ENV, "1")
+        assert shm_enabled()
+
+
+def _suite_payload(sampling, cache_dir, jobs):
+    runner = ExperimentRunner(
+        sampling=sampling,
+        cache=ResultCache(directory=cache_dir),
+        workload_scale=TEST_SCALE,
+        jobs=jobs,
+    )
+    outcome = runner.run_suite(CONFIG_A, names=("gzip", "lucas"))
+    assert outcome.ok
+    return runner, [
+        json.dumps(run.to_dict(), sort_keys=True) for run in outcome
+    ]
+
+
+class TestParallelSuiteOverShm:
+    def test_parallel_shm_matches_serial(self, tmp_path, test_sampling):
+        before = set(_repro_segments())
+        _, serial = _suite_payload(test_sampling, tmp_path / "serial",
+                                   jobs=1)
+        runner, parallel = _suite_payload(test_sampling,
+                                          tmp_path / "parallel", jobs=2)
+        assert parallel == serial
+        metrics = runner.obs.metrics
+        # One segment per distinct benchmark; every worker run attached.
+        assert metrics.value(TRACE_SHM_SHARED) == 2.0
+        assert metrics.value(TRACE_SHM_ATTACHED) == 2.0
+        assert metrics.value(TRACE_SHM_FALLBACKS) == 0.0
+        assert set(_repro_segments()) <= before
+
+    def test_disabled_gate_still_matches_serial(self, tmp_path,
+                                                test_sampling,
+                                                monkeypatch):
+        monkeypatch.setenv(SHM_ENV, "0")
+        _, serial = _suite_payload(test_sampling, tmp_path / "serial",
+                                   jobs=1)
+        runner, parallel = _suite_payload(test_sampling,
+                                          tmp_path / "parallel", jobs=2)
+        assert parallel == serial
+        assert runner.obs.metrics.value(TRACE_SHM_SHARED) == 0.0
+
+    def test_worker_kill_leaves_no_segments(self, tmp_path, test_sampling,
+                                            monkeypatch):
+        # Kill a worker *after* it attached the shared trace (the
+        # profiling stage runs on the attached view); the pool respawns,
+        # the retry completes byte-identically, and the parent still
+        # unlinks every segment.
+        before = set(_repro_segments())
+        _, serial = _suite_payload(test_sampling, tmp_path / "serial",
+                                   jobs=1)
+        monkeypatch.setenv(FAULTS_ENV, "kill:gzip:profiling:0")
+        runner, parallel = _suite_payload(test_sampling,
+                                          tmp_path / "killed", jobs=2)
+        assert parallel == serial
+        metrics = runner.obs.metrics
+        assert metrics.value("repro_worker_crashes_total") >= 1.0
+        assert set(_repro_segments()) <= before

@@ -245,12 +245,12 @@ class TestBackendSelection:
         assert result.k == 2
 
     def test_environment_variable_selects_backend(self, monkeypatch):
-        monkeypatch.setattr(backend_mod, "_active", None)
+        monkeypatch.setattr(backend_mod.CONTROL, "_active", None)
         monkeypatch.setenv(BACKEND_ENV, "scalar")
         assert get_backend() == "scalar"
 
     def test_bad_environment_variable_rejected(self, monkeypatch):
-        monkeypatch.setattr(backend_mod, "_active", None)
+        monkeypatch.setattr(backend_mod.CONTROL, "_active", None)
         monkeypatch.setenv(BACKEND_ENV, "turbo")
         with pytest.raises(ClusteringError):
             get_backend()
