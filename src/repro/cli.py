@@ -68,6 +68,7 @@ from .obs import (
     write_trace_jsonl,
 )
 from .harness import (
+    DEFAULT_LEASE_TIMEOUT,
     ExperimentRunner,
     FaultPolicy,
     accuracy_experiment,
@@ -75,6 +76,7 @@ from .harness import (
     format_table,
     granularity_experiment,
     motivation_experiment,
+    make_pool,
     speedup_experiment,
     statistics_experiment,
 )
@@ -258,6 +260,14 @@ def _make_runner(args: argparse.Namespace) -> ExperimentRunner:
         policy=_policy_of(args),
     )
     runner.resume = getattr(args, "resume", False)
+    if getattr(args, "dispatch", False):
+        runner.pool = make_pool(
+            dispatch=True,
+            workers=getattr(args, "workers", 2),
+            launcher=getattr(args, "launcher", None),
+            lease_timeout=getattr(args, "lease_timeout",
+                                  DEFAULT_LEASE_TIMEOUT),
+        )
     return runner
 
 
@@ -548,6 +558,27 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker processes for per-benchmark runs "
                             "(0 = one per CPU; default: 1)")
 
+    def add_dispatch(p: argparse.ArgumentParser) -> None:
+        # Distributed backend: subprocess workers under lease-based
+        # dispatch (see `Distributed campaigns` in the README).
+        p.add_argument("--dispatch", action="store_true",
+                       help="execute runs through the distributed "
+                            "dispatcher (subprocess workers, lease-based "
+                            "work stealing) instead of the in-process "
+                            "pool")
+        p.add_argument("--workers", type=int, default=2, metavar="N",
+                       help="dispatched worker processes (default: 2)")
+        p.add_argument("--launcher", metavar="CMD", default=None,
+                       help="worker launch command (default: this "
+                            "python running -m repro.harness.worker; an "
+                            "SSH/cluster launcher is just a prefix, e.g. "
+                            "'ssh node7 python -m repro.harness.worker')")
+        p.add_argument("--lease-timeout", type=float,
+                       default=DEFAULT_LEASE_TIMEOUT, metavar="SECONDS",
+                       help="reclaim a task after this long without a "
+                            "worker heartbeat (default: "
+                            f"{DEFAULT_LEASE_TIMEOUT:g})")
+
     def add_fault(p: argparse.ArgumentParser) -> None:
         # Fault tolerance: failing runs are retried, then reported as
         # FAILED table rows (exit 1) instead of aborting the campaign.
@@ -576,6 +607,7 @@ def build_parser() -> argparse.ArgumentParser:
     suite.add_argument("--quick", action="store_true",
                        help="only the quick benchmark subset")
     add_jobs(suite)
+    add_dispatch(suite)
     add_fault(suite)
     add_common(suite)
     add_history(suite)
@@ -589,6 +621,7 @@ def build_parser() -> argparse.ArgumentParser:
                             help="benchmark for fig1 (default lucas)")
     experiment.add_argument("--progress", action="store_true")
     add_jobs(experiment)
+    add_dispatch(experiment)
     add_fault(experiment)
     add_common(experiment)
     experiment.set_defaults(func=_cmd_experiment)

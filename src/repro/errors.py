@@ -48,6 +48,11 @@ class WorkerCrash(ReproError):
     """A worker process died (killed, OOM, segfault) mid-run."""
 
 
+class DispatchError(ReproError):
+    """The distributed dispatcher hit a protocol violation or lost its
+    worker fleet (launcher failures, unparseable worker messages)."""
+
+
 class FaultSpecError(ReproError):
     """A fault-injection spec (``$REPRO_FAULTS``) is malformed."""
 

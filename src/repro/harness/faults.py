@@ -18,11 +18,21 @@ is a semicolon-separated list of specs::
   entry), ``hang`` (block in the stage until killed or timed out),
   ``kill`` (``os._exit`` the current process, simulating an OOM-killed
   worker), ``corrupt`` (overwrite the run's just-published cache entry
-  with garbage).
+  with garbage), or a dispatch-level kind understood by the distributed
+  dispatcher (:mod:`repro.harness.dispatch`): ``worker_exit`` (the
+  subprocess worker dies the moment it receives the matching task),
+  ``heartbeat_drop`` (the worker executes the task but sends no
+  heartbeats), ``partition`` (the dispatcher drops every message
+  concerning the matching lease until the lease is reclaimed,
+  simulating a network partition), ``stale_commit`` (the worker
+  withholds its finished result until after its lease deadline, so the
+  commit must be rejected as stale).
 * ``benchmark`` — benchmark name, or ``*`` for all.
 * ``stage`` — pipeline stage name (``trace_build``, ``profiling``,
   ``plan_construction``, ``baseline``, ``point_simulation``), or ``*``.
-  Ignored for ``corrupt`` (which fires after the run publishes).
+  Ignored for ``corrupt`` (which fires after the run publishes) and for
+  the dispatch-level kinds (which fire at lease grant / task receipt,
+  outside any stage).
 * ``attempts`` — comma-separated attempt numbers (0-based), or ``*``.
 
 Example: ``raise:gzip:baseline:0,1`` makes gzip's first two attempts die
@@ -51,8 +61,16 @@ logger = logging.getLogger(__name__)
 #: Environment variable holding the fault specs.
 FAULTS_ENV = "REPRO_FAULTS"
 
+#: Fault kinds that fire at pipeline stage boundaries.
+STAGE_FAULT_KINDS = ("raise", "hang", "kill")
+
+#: Fault kinds handled by the distributed dispatcher / its workers.
+DISPATCH_FAULT_KINDS = (
+    "worker_exit", "heartbeat_drop", "partition", "stale_commit",
+)
+
 #: Recognised fault kinds.
-FAULT_KINDS = ("raise", "hang", "kill", "corrupt")
+FAULT_KINDS = STAGE_FAULT_KINDS + ("corrupt",) + DISPATCH_FAULT_KINDS
 
 #: Exit status used by ``kill`` faults (mirrors SIGKILL's 128+9).
 KILL_EXIT_CODE = 137
@@ -149,10 +167,26 @@ def active_faults() -> Tuple[FaultSpec, ...]:
     return _parsed[1]
 
 
+def dispatch_fault(kind: str, benchmark: str, attempt: int) -> bool:
+    """Is a dispatch-level fault of *kind* configured for this task?
+
+    Dispatch faults fire outside any pipeline stage — at lease grant on
+    the dispatcher side (``partition``) or at task receipt on the worker
+    side (``worker_exit``, ``heartbeat_drop``, ``stale_commit``) — so
+    only the (benchmark, attempt) coordinates select them.
+    """
+    if kind not in DISPATCH_FAULT_KINDS:
+        raise FaultSpecError(f"{kind!r} is not a dispatch fault kind")
+    return any(
+        spec.kind == kind and spec.matches(benchmark, None, attempt)
+        for spec in active_faults()
+    )
+
+
 def fire_stage(benchmark: str, stage: str) -> None:
     """Fault hook at stage entry (called by :meth:`SuiteTiming.stage`)."""
     for spec in active_faults():
-        if spec.kind == "corrupt":
+        if spec.kind not in STAGE_FAULT_KINDS:
             continue
         if not spec.matches(benchmark, stage, _current_attempt):
             continue

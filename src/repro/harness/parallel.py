@@ -45,6 +45,7 @@ from ..engine.shm import share_trace, shm_enabled
 from ..errors import HarnessError, ReproError
 from ..obs import (
     POOL_RESPAWNS,
+    RETRY_BACKOFF_SECONDS,
     RUN_FAILURES,
     RUN_RETRIES,
     RUN_TIMEOUTS,
@@ -289,6 +290,7 @@ def run_tasks_parallel(
                 config.name, benchmark, attempts[index], error_type, delay,
             )
             metrics.counter(RUN_RETRIES).inc()
+            metrics.histogram(RETRY_BACKOFF_SECONDS).observe(delay)
             eligible[index] = time.monotonic() + delay
             queue.add(index)
         else:

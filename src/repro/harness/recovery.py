@@ -13,10 +13,12 @@ share:
 * :class:`SuiteOutcome` — what ``run_suite`` returns: the completed runs
   (in suite order; the outcome iterates like a plain run list) plus the
   failures.
-* :class:`SuiteJournal` — a JSONL checkpoint next to the result cache,
-  rewritten atomically (mkstemp + rename, the :class:`ResultCache`
-  discipline) after every completion, so ``--resume`` skips completed
-  runs and re-attempts only failed or missing ones.
+* :class:`SuiteJournal` — an append-only JSONL checkpoint next to the
+  result cache: one fsync'd line per completed run or final failure, so
+  checkpoint cost is O(1) per record and ``--resume`` skips completed
+  runs and re-attempts only failed or missing ones.  A crash mid-append
+  can tear at most the final line, which the loader drops (counted as
+  ``repro_journal_torn_total``) before healing the file.
 
 Retries are safe because every pipeline run is a pure function of its
 (benchmark spec, scale, sampling config, machine config) inputs
@@ -44,7 +46,15 @@ from typing import (
 
 from ..config import MachineConfig
 from ..errors import HarnessError, ReproError, RunTimeout
-from ..obs import RUN_FAILURES, RUN_RETRIES, RUN_TIMEOUTS, RUNS_COMPLETED
+from ..obs import (
+    JOURNAL_TORN,
+    RETRY_BACKOFF_SECONDS,
+    RUN_FAILURES,
+    RUN_RETRIES,
+    RUN_TIMEOUTS,
+    RUNS_COMPLETED,
+    MetricsRegistry,
+)
 from .cache import CACHE_SCHEMA_VERSION
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -326,7 +336,9 @@ def run_tasks_serial(
     for index, (benchmark, config) in enumerate(tasks):
         for attempt in range(policy.max_attempts):
             if attempt:
-                time.sleep(policy.backoff_seconds(attempt))
+                delay = policy.backoff_seconds(attempt)
+                metrics.histogram(RETRY_BACKOFF_SECONDS).observe(delay)
+                time.sleep(delay)
             if progress:
                 suffix = f" (attempt {attempt + 1})" if attempt else ""
                 logger.info("[%s] %s ...%s", config.name, benchmark, suffix)
@@ -392,25 +404,37 @@ def suite_fingerprint(
 
 
 class SuiteJournal:
-    """JSONL checkpoint of suite progress, for ``--resume``.
+    """Append-only JSONL checkpoint of suite progress, for ``--resume``.
 
     The suite driver records every completed run (with its full result
-    payload) and every final failure.  The file is rewritten atomically
-    on each record — content to a ``mkstemp`` temp file, published with
-    ``os.replace``, exactly the :class:`ResultCache` discipline — so a
-    crash (even an OOM kill mid-write) can never leave a torn journal,
-    and a resume after any interruption skips exactly the runs that
-    completed.
+    payload) and every final failure as **one appended, fsync'd line**
+    — O(1) per record, where the original rewrite-the-file scheme cost
+    O(records) per record and made checkpointing quadratic over a
+    campaign.  A crash (even an OOM kill mid-append) can tear at most
+    the final line; the loader drops any unparseable line, counts it as
+    ``repro_journal_torn_total``, and heals the file with one atomic
+    rewrite (mkstemp + ``os.replace``, the :class:`ResultCache`
+    discipline) so later appends cannot concatenate onto a torn tail.
+    Whole-file rewrites remain only for the rare structural edits:
+    ``reset`` and ``drop_failures``.
 
     Only the suite *parent* writes the journal (workers return results
-    to it), so there is a single writer per file.
+    to it), so there is a single writer per file — this is also the
+    dispatch backend's at-most-once commit point: a stale worker's late
+    result is discarded by the lease table before it ever reaches here.
     """
 
     VERSION = 1
 
-    def __init__(self, path: Path, fingerprint: str) -> None:
+    def __init__(
+        self,
+        path: Path,
+        fingerprint: str,
+        metrics: Optional["MetricsRegistry"] = None,
+    ) -> None:
         self.path = Path(path)
         self.fingerprint = fingerprint
+        self.metrics = metrics
         self._entries: List[dict] = []
 
     @staticmethod
@@ -425,13 +449,18 @@ class SuiteJournal:
         return SuiteJournal(
             Path(directory) / f"suite-{fingerprint}.journal.jsonl",
             fingerprint,
+            metrics=runner.obs.metrics,
         )
 
     # ------------------------------------------------------------------
     def load(self) -> int:
         """Read existing entries (tolerating torn lines); return count.
 
-        A journal written by a different suite invocation (mismatched
+        Unparseable lines — a crash tore the final append — are dropped
+        and counted (``repro_journal_torn_total``); when any were found
+        the journal is immediately rewritten from the surviving entries,
+        so a subsequent append cannot concatenate onto a torn tail.  A
+        journal written by a different suite invocation (mismatched
         fingerprint) or journal version is ignored wholesale — resuming
         against it would mix incompatible results.
         """
@@ -441,15 +470,19 @@ class SuiteJournal:
         except OSError:
             return 0
         entries: List[dict] = []
+        torn = 0
         for line in lines:
             if not line.strip():
                 continue
             try:
                 entry = json.loads(line)
             except json.JSONDecodeError:
-                logger.warning("journal %s: skipping torn line", self.path)
+                torn += 1
+                logger.warning("journal %s: dropping torn line", self.path)
                 continue
             entries.append(entry)
+        if torn and self.metrics is not None:
+            self.metrics.counter(JOURNAL_TORN).inc(torn)
         if not entries:
             return 0
         header = entries[0]
@@ -464,6 +497,8 @@ class SuiteJournal:
             )
             return 0
         self._entries = entries
+        if torn:
+            self._rewrite()
         return len(entries) - 1
 
     def reset(self) -> None:
@@ -473,7 +508,7 @@ class SuiteJournal:
             "version": self.VERSION,
             "fingerprint": self.fingerprint,
         }]
-        self._flush()
+        self._rewrite()
 
     # ------------------------------------------------------------------
     def completed(self) -> Dict[Tuple[str, str], dict]:
@@ -493,35 +528,49 @@ class SuiteJournal:
         ]
 
     def drop_failures(self) -> None:
-        """Forget recorded failures (they are about to be re-attempted)."""
+        """Forget recorded failures (they are about to be re-attempted).
+
+        A structural edit, so this is one atomic whole-file rewrite —
+        it happens once per resume, not once per record.
+        """
         self._entries = [
             e for e in self._entries if e.get("type") != "failure"
         ]
-        self._flush()
+        self._rewrite()
 
     # ------------------------------------------------------------------
     def record_run(
         self, benchmark: str, config_name: str, payload: dict
     ) -> None:
-        """Checkpoint one completed run."""
-        if not self._entries:
-            self.reset()
-        self._entries.append({
+        """Checkpoint one completed run (one appended, fsync'd line)."""
+        self._append({
             "type": "run",
             "benchmark": benchmark,
             "config_name": config_name,
             "payload": payload,
         })
-        self._flush()
 
     def record_failure(self, failure: RunFailure) -> None:
         """Checkpoint one final (post-retries) failure."""
+        self._append({"type": "failure", "failure": failure.to_dict()})
+
+    def _append(self, entry: dict) -> None:
+        """Append one record: write the line, flush, fsync.
+
+        The fsync bounds what a crash can lose to the final, possibly
+        torn line — which :meth:`load` then drops and heals.
+        """
         if not self._entries:
             self.reset()
-        self._entries.append({"type": "failure", "failure": failure.to_dict()})
-        self._flush()
+        self._entries.append(entry)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(entry) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
 
-    def _flush(self) -> None:
+    def _rewrite(self) -> None:
+        """Atomically replace the whole file (reset / heal / drop)."""
         self.path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp_name = tempfile.mkstemp(
             prefix=self.path.stem + ".", suffix=".tmp", dir=self.path.parent

@@ -233,6 +233,11 @@ class ExperimentRunner:
         #: Default worker count for :meth:`run_suite` (overridable per
         #: call; 0 means one worker per CPU).
         self.jobs = jobs
+        #: Default execution backend for :meth:`run_suite`: ``None``
+        #: keeps the jobs-based serial/process-pool selection; a
+        #: :class:`~repro.harness.dispatch.Pool` (e.g. the CLI's
+        #: ``--dispatch`` backend) takes over task execution wholesale.
+        self.pool = None
         #: Default fault policy for :meth:`run_suite` (retries, per-run
         #: timeout, fail_fast; overridable per call).
         self.policy = policy if policy is not None else DEFAULT_POLICY
@@ -506,6 +511,7 @@ class ExperimentRunner:
         policy: Optional[FaultPolicy] = None,
         resume: Optional[bool] = None,
         journal: object = None,
+        pool: object = None,
     ) -> SuiteOutcome:
         """Run every benchmark (or *names*) under *config*.
 
@@ -515,6 +521,12 @@ class ExperimentRunner:
         defaults to the runner's construction-time value; ``jobs=0`` means
         one worker per CPU.  *progress* logs per-benchmark lines at INFO
         level (see the CLI's ``-v``).
+
+        *pool* (default: the runner's :attr:`pool`) swaps the execution
+        backend wholesale: any :class:`~repro.harness.dispatch.Pool`,
+        e.g. the lease-based subprocess dispatcher behind the CLI's
+        ``--dispatch``.  Results remain byte-identical across serial,
+        pooled and dispatched execution.
 
         Execution is fault-tolerant: a failing run is retried per
         *policy* (default: the runner's) and, if it keeps failing,
@@ -529,6 +541,7 @@ class ExperimentRunner:
         """
         chosen = list(names) if names is not None else benchmark_names(quick=quick)
         jobs = self.jobs if jobs is None else jobs
+        pool = self.pool if pool is None else pool
         policy = policy if policy is not None else self.policy
         resume = self.resume if resume is None else resume
         tasks = [(name, config) for name in chosen]
@@ -578,7 +591,12 @@ class ExperimentRunner:
                 benchmarks=len(remaining),
                 resumed=len(preloaded),
             ):
-                if remaining and jobs != 1 and len(remaining) > 1:
+                if remaining and pool is not None:
+                    executed = pool.run_tasks(
+                        self, remaining, policy=policy, progress=progress,
+                        on_run=_journal_run, on_failure=_journal_failure,
+                    )
+                elif remaining and jobs != 1 and len(remaining) > 1:
                     from .parallel import resolve_jobs, run_tasks_parallel
 
                     executed = run_tasks_parallel(
@@ -634,7 +652,8 @@ class ExperimentRunner:
         from .recovery import suite_fingerprint
 
         return SuiteJournal(
-            Path(journal), suite_fingerprint(self, config, names)
+            Path(journal), suite_fingerprint(self, config, names),
+            metrics=self.obs.metrics,
         )
 
 

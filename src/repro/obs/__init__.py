@@ -54,10 +54,19 @@ from .metrics import (
     DEFAULT_BUCKETS,
     DETAILED_CALLS,
     DETAILED_INSTRUCTIONS,
+    DISPATCH_HEARTBEATS,
+    DISPATCH_LEASE_SECONDS,
+    DISPATCH_LEASES,
+    DISPATCH_MISSED,
+    DISPATCH_RECLAIMS,
+    DISPATCH_STALE_COMMITS,
+    DISPATCH_STEALS,
     FAULTS_INJECTED,
     FUNCTIONAL_INSTRUCTIONS,
+    JOURNAL_TORN,
     POOL_RESPAWNS,
     PROFILE_PASSES,
+    RETRY_BACKOFF_SECONDS,
     RUN_FAILURES,
     RUN_RETRIES,
     RUN_SECONDS,
@@ -84,6 +93,13 @@ __all__ = [
     "DEFAULT_BUCKETS",
     "DETAILED_CALLS",
     "DETAILED_INSTRUCTIONS",
+    "DISPATCH_HEARTBEATS",
+    "DISPATCH_LEASE_SECONDS",
+    "DISPATCH_LEASES",
+    "DISPATCH_MISSED",
+    "DISPATCH_RECLAIMS",
+    "DISPATCH_STALE_COMMITS",
+    "DISPATCH_STEALS",
     "FAULTS_INJECTED",
     "FUNCTIONAL_INSTRUCTIONS",
     "Gauge",
@@ -91,6 +107,7 @@ __all__ = [
     "Histogram",
     "HistoryDiff",
     "HistoryRecord",
+    "JOURNAL_TORN",
     "MANIFEST_VERSION",
     "MethodDiag",
     "MetricsRegistry",
@@ -98,6 +115,7 @@ __all__ = [
     "PhaseDiag",
     "POOL_RESPAWNS",
     "PROFILE_PASSES",
+    "RETRY_BACKOFF_SECONDS",
     "RUN_FAILURES",
     "RUN_RETRIES",
     "RUN_SECONDS",

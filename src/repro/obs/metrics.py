@@ -50,6 +50,15 @@ TRACE_SHM_SHARED = "repro_trace_shm_shared_total"
 TRACE_SHM_ATTACHED = "repro_trace_shm_attached_total"
 TRACE_SHM_FALLBACKS = "repro_trace_shm_fallbacks_total"
 TRACE_SHM_BYTES = "repro_trace_shm_bytes_total"
+DISPATCH_LEASES = "repro_dispatch_leases_total"
+DISPATCH_HEARTBEATS = "repro_dispatch_heartbeats_total"
+DISPATCH_MISSED = "repro_dispatch_missed_total"
+DISPATCH_RECLAIMS = "repro_dispatch_reclaims_total"
+DISPATCH_STEALS = "repro_dispatch_steals_total"
+DISPATCH_STALE_COMMITS = "repro_dispatch_stale_commits_total"
+DISPATCH_LEASE_SECONDS = "repro_dispatch_lease_seconds"
+JOURNAL_TORN = "repro_journal_torn_total"
+RETRY_BACKOFF_SECONDS = "repro_retry_backoff_seconds"
 
 #: Default histogram bucket upper bounds (seconds) — spans pipeline
 #: stages from sub-millisecond cache hits to multi-minute baselines.

@@ -317,6 +317,31 @@ class TestParallelRecovery:
         assert _payload(outcome) == clean_payload
 
 
+class TestBackoffHistogram:
+    def test_serial_retry_waits_are_observed(
+            self, tmp_path, test_sampling, monkeypatch):
+        from repro.obs import RETRY_BACKOFF_SECONDS
+
+        monkeypatch.setenv(FAULTS_ENV, "raise:gzip:baseline:0")
+        runner = _runner(test_sampling, tmp_path, max_retries=1)
+        outcome = runner.run_suite(CONFIG_A, names=("gzip",))
+        assert outcome.ok
+        histogram = runner.obs.metrics.histogram(RETRY_BACKOFF_SECONDS)
+        assert histogram.count == 1
+        assert histogram.sum == 0.0  # backoff_base=0 in these tests
+
+    def test_parallel_retry_waits_are_observed(
+            self, tmp_path, test_sampling, monkeypatch):
+        from repro.obs import RETRY_BACKOFF_SECONDS
+
+        monkeypatch.setenv(FAULTS_ENV, "raise:gzip:baseline:0")
+        runner = _runner(test_sampling, tmp_path, jobs=2, max_retries=1)
+        outcome = runner.run_suite(CONFIG_A, names=("gzip", "lucas"))
+        assert outcome.ok
+        histogram = runner.obs.metrics.histogram(RETRY_BACKOFF_SECONDS)
+        assert histogram.count == 1
+
+
 class TestCorruptCacheInjection:
     def test_corrupt_entry_quarantined_and_recomputed(
             self, tmp_path, test_sampling, monkeypatch):
@@ -380,6 +405,54 @@ class TestSuiteJournal:
         with open(journal.path, "a") as handle:
             handle.write('{"type": "run", "benchm')  # torn mid-write
         assert self._journal(tmp_path).load() == 1
+
+    def test_torn_lines_counted_and_healed(self, tmp_path):
+        from repro.obs import JOURNAL_TORN, MetricsRegistry
+
+        journal = self._journal(tmp_path)
+        journal.reset()
+        journal.record_run("gzip", "config_a", {})
+        with open(journal.path, "a") as handle:
+            handle.write('{"type": "run", "benchm')  # torn final line
+        metrics = MetricsRegistry()
+        healed = SuiteJournal(journal.path, "abc123", metrics=metrics)
+        assert healed.load() == 1
+        assert metrics.value(JOURNAL_TORN) == 1.0
+        # The load rewrote the file: the torn tail is gone, so a record
+        # appended now cannot concatenate onto it.
+        healed.record_run("mcf", "config_a", {})
+        lines = journal.path.read_text().splitlines()
+        assert len(lines) == 3  # header + two runs, all valid JSON
+        for line in lines:
+            json.loads(line)
+        fresh = SuiteJournal(journal.path, "abc123", metrics=metrics)
+        assert fresh.load() == 2
+        assert metrics.value(JOURNAL_TORN) == 1.0  # no new tears
+
+    def test_records_append_without_rewriting(self, tmp_path):
+        # The append-only promise: recording N runs must not rewrite the
+        # file N times (the old scheme replaced it per record, making
+        # checkpointing O(n^2) over a campaign).  os.replace allocates a
+        # new inode, so inode stability proves appends.
+        import os
+
+        journal = self._journal(tmp_path)
+        journal.reset()
+        inode = os.stat(journal.path).st_ino
+        for index in range(5):
+            journal.record_run(f"bench{index}", "config_a", {"i": index})
+            journal.record_failure(RunFailure(
+                f"bench{index}", "config_a", 1, 1, "E", "m", "tb", None,
+            ))
+        assert os.stat(journal.path).st_ino == inode
+        clone = self._journal(tmp_path)
+        assert clone.load() == 10
+        assert len(clone.completed()) == 5
+        assert len(clone.failed()) == 5
+        # Structural edits still rewrite atomically.
+        clone.drop_failures()
+        assert os.stat(journal.path).st_ino != inode
+        assert self._journal(tmp_path).load() == 5
 
     def test_missing_file_loads_empty(self, tmp_path):
         assert self._journal(tmp_path).load() == 0
