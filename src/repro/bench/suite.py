@@ -17,7 +17,7 @@ run on the real gzip trace at the requested scale.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from fnmatch import fnmatchcase
 from functools import lru_cache
 from typing import Any, Callable, List, Optional, Tuple
@@ -33,6 +33,8 @@ from ..engine.trace import Trace, TraceBuilder, build_trace
 from ..errors import HarnessError
 from ..sampling.coasts import Coasts
 from ..sampling.multilevel import MultiLevelSampler
+from ..sampling.ranked_set import RankedSetSampler
+from ..sampling.stratified import StratifiedSampler
 from ..workloads.registry import load_workload
 
 #: Default workload scale for the trace-backed cases (``repro bench
@@ -129,6 +131,34 @@ def _run_two_level(trace: Trace, backend: str) -> None:
 
 
 # ----------------------------------------------------------------------
+# registry samplers: the stratified allocation pipeline and the
+# ranked-set repeated-subsampling pipeline, from an already-built fine
+# profile (profiling cost is the engine cases' business, not these).
+# The BIC sweep is capped at kmax 8 — kmeans_sweep already measures the
+# full-width sweep; these cases target the allocation/ranking stages.
+
+def _setup_fine_plan(scale: float):
+    trace = _bench_trace(scale)
+    sampling = replace(_bench_sampling(trace), fine_kmax=8)
+    profile = FunctionalSimulator(trace).profile_fixed_intervals(
+        sampling.fine_interval_size
+    )
+    return sampling, profile
+
+
+def _run_stratified(payload, backend: str) -> None:
+    sampling, profile = payload
+    with use_backend(backend):
+        StratifiedSampler(sampling).sample(profile, benchmark=BENCH_WORKLOAD)
+
+
+def _run_ranked_set(payload, backend: str) -> None:
+    sampling, profile = payload
+    with use_backend(backend):
+        RankedSetSampler(sampling).sample(profile, benchmark=BENCH_WORKLOAD)
+
+
+# ----------------------------------------------------------------------
 # detailed timing: the block-level OoO segment loop over the whole
 # trace (the "original sim-outorder" cost every speedup is quoted
 # against).  Backend-independent: measured vectorized-only.
@@ -194,6 +224,21 @@ BENCH_SUITE: Tuple[BenchCase, ...] = (
         backends=("vectorized", "scalar"),
         setup=_setup_two_level,
         run=_run_two_level,
+    ),
+    BenchCase(
+        name="plan_stratified",
+        description="stratified plan (cluster + Neyman allocation) on gzip",
+        backends=("vectorized", "scalar"),
+        setup=_setup_fine_plan,
+        run=_run_stratified,
+    ),
+    BenchCase(
+        name="plan_ranked_set",
+        description="ranked-set plan (proxy rank + repeated subsampling) "
+                    "on gzip",
+        backends=("vectorized", "scalar"),
+        setup=_setup_fine_plan,
+        run=_run_ranked_set,
     ),
     BenchCase(
         name="detailed_timing",

@@ -3,8 +3,10 @@
 Three subcommands drive the library without writing Python::
 
     python -m repro run gzip                  # one benchmark, all methods
+    python -m repro run gzip --methods coasts multilevel
     python -m repro suite --config b          # whole-suite summary table
     python -m repro suite --jobs 4 --timing   # parallel, with stage report
+    python -m repro leaderboard --quick       # rank every registered sampler
     python -m repro experiment fig3           # regenerate a paper table/figure
     python -m repro suite --trace-out t.jsonl # + span/metric event log
     python -m repro obs report t.jsonl        # render a recorded trace
@@ -72,6 +74,7 @@ from .harness import (
     ExperimentRunner,
     FaultPolicy,
     accuracy_experiment,
+    build_leaderboard,
     failure_rows,
     format_table,
     granularity_experiment,
@@ -81,6 +84,7 @@ from .harness import (
     statistics_experiment,
 )
 from .harness.runner import BOTH_CONFIGS
+from .samplers import registered_methods
 from .workloads import benchmark_names
 
 #: Experiment names accepted by the ``experiment`` subcommand.
@@ -192,11 +196,15 @@ def _append_history(
     names: Optional[List[str]] = None,
     runs=(),
     outcome=None,
+    ranks=None,
 ) -> None:
     """Append this invocation's record to the cross-run history.
 
-    A failed append (read-only checkout, full disk) warns instead of
-    failing the run — the history is a byproduct, not the result.
+    *ranks* (leaderboard invocations) attaches the aggregate rank per
+    method before the record seals, so ``obs diff`` can flag rank
+    regressions.  A failed append (read-only checkout, full disk) warns
+    instead of failing the run — the history is a byproduct, not the
+    result.
     """
     if getattr(args, "no_history", False):
         return
@@ -206,21 +214,40 @@ def _append_history(
     record = record_from_manifest(
         manifest, runs=runs, kind=kind, registry=runner.obs.metrics
     )
+    if ranks:
+        # record_from_manifest already sealed; re-open so the run_id
+        # digest covers the ranks too.
+        record.ranks = dict(ranks)
+        record.run_id = ""
     try:
         _history_store(args).append(record)
     except OSError as error:
         print(f"warning: history not recorded: {error}", file=sys.stderr)
 
 
+def _methods_of(args: argparse.Namespace):
+    """The ``--methods`` selection, or ``None`` for every registered one."""
+    methods = getattr(args, "methods", None)
+    return tuple(methods) if methods else None
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
-    runner = ExperimentRunner(workload_scale=args.scale)
+    runner = ExperimentRunner(
+        workload_scale=args.scale, methods=_methods_of(args)
+    )
     config = _config_of(args.config)
     run = runner.run_benchmark(args.benchmark, config)
     print(f"{args.benchmark} on {config.name}: baseline CPI "
           f"{run.baseline.cpi:.3f}, L1 {run.baseline.l1_hit_rate:.4f}, "
           f"L2 {run.baseline.l2_hit_rate:.4f}")
+    # The speedup column divides by SimPoint (the paper's axis) when it
+    # ran; under a --methods selection without it, fall back to speedup
+    # over full detailed simulation.
+    over_simpoint = "simpoint" in run.methods
     rows = []
     for method, result in run.methods.items():
+        speedup = (run.speedup(method) if over_simpoint
+                   else run.speedup_over_full(method))
         rows.append([
             method,
             result.stats.n_leaves,
@@ -228,11 +255,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
             f"{100 * result.deviation.cpi:.2f}%",
             f"{100 * result.deviation.l1_hit_rate:.2f}%",
             f"{100 * result.deviation.l2_hit_rate:.2f}%",
-            f"{run.speedup(method):.2f}x",
+            f"{speedup:.2f}x",
         ])
     print(format_table(
         ["method", "points", "CPI est", "CPI dev", "L1 dev", "L2 dev",
-         "speedup"],
+         "speedup" if over_simpoint else "spd/full"],
         rows,
     ))
     _emit_timing(runner, args)
@@ -258,6 +285,7 @@ def _make_runner(args: argparse.Namespace) -> ExperimentRunner:
         workload_scale=args.scale,
         jobs=getattr(args, "jobs", 1),
         policy=_policy_of(args),
+        methods=_methods_of(args),
     )
     runner.resume = getattr(args, "resume", False)
     if getattr(args, "dispatch", False):
@@ -290,19 +318,30 @@ def _cmd_suite(args: argparse.Namespace) -> int:
     config = _config_of(args.config)
     outcome = runner.run_suite(config, quick=args.quick,
                                progress=args.progress)
+    # Columns follow the selected method set: one CPI-deviation column
+    # per method, plus speedup-over-SimPoint columns (the paper's Figs
+    # 3/4 axis) when SimPoint itself is in the set to divide by.
+    dev_methods = list(runner.methods)
+    spd_methods = (
+        [m for m in ("coasts", "multilevel") if m in runner.methods]
+        if "simpoint" in runner.methods else []
+    )
+    headers = (
+        ["benchmark", "CPI"]
+        + [f"{m} dev" for m in dev_methods]
+        + [f"{m} spd" for m in spd_methods]
+    )
     rows = []
     for run in outcome:
-        rows.append([
-            run.benchmark,
-            f"{run.baseline.cpi:.3f}",
-            f"{100 * run.methods['coasts'].deviation.cpi:.2f}%",
-            f"{100 * run.methods['multilevel'].deviation.cpi:.2f}%",
-            f"{run.speedup('coasts'):.2f}x",
-            f"{run.speedup('multilevel'):.2f}x",
-        ])
-    rows.extend(failure_rows(outcome.failures, width=6))
+        rows.append(
+            [run.benchmark, f"{run.baseline.cpi:.3f}"]
+            + [f"{100 * run.methods[m].deviation.cpi:.2f}%"
+               for m in dev_methods]
+            + [f"{run.speedup(m):.2f}x" for m in spd_methods]
+        )
+    rows.extend(failure_rows(outcome.failures, width=len(headers)))
     print(format_table(
-        ["benchmark", "CPI", "COASTS dev", "ML dev", "COASTS spd", "ML spd"],
+        headers,
         rows,
         title=f"suite summary ({config.name})",
     ))
@@ -315,6 +354,37 @@ def _cmd_suite(args: argparse.Namespace) -> int:
         runner, args, kind="suite", config=config,
         names=benchmark_names(quick=args.quick), runs=list(outcome),
         outcome=outcome,
+    )
+    return _report_failures(runner)
+
+
+def _cmd_leaderboard(args: argparse.Namespace) -> int:
+    """Rank every selected sampler by accuracy × speedup over a suite."""
+    runner = _make_runner(args)
+    config = _config_of(args.config)
+    names = list(args.benchmarks) if args.benchmarks else \
+        benchmark_names(quick=args.quick)
+    outcome = runner.run_suite(
+        config, names=names, quick=args.quick, progress=args.progress
+    )
+    runs = list(outcome)
+    if not runs:
+        _report_failures(runner)
+        print("error: no benchmark completed; nothing to rank",
+              file=sys.stderr)
+        return EXIT_PARTIAL
+    board = build_leaderboard(runs, methods=runner.methods)
+    print(board.format())
+    if args.json:
+        Path(args.json).write_text(
+            json.dumps(board.to_dict(), indent=2) + "\n"
+        )
+        print(f"[leaderboard written to {args.json}]")
+    _emit_timing(runner, args)
+    _emit_obs(runner, args, config=config, names=names, outcome=outcome)
+    _append_history(
+        runner, args, kind="leaderboard", config=config, names=names,
+        runs=runs, outcome=outcome, ranks=board.ranks,
     )
     return _report_failures(runner)
 
@@ -553,6 +623,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="history directory (default: .repro_history, "
                             "or $REPRO_HISTORY_DIR)")
 
+    def add_methods(p: argparse.ArgumentParser) -> None:
+        # Choices come from the sampler registry, so a sampler
+        # registered by a plugin import shows up automatically.
+        p.add_argument("--methods", nargs="+", metavar="METHOD",
+                       choices=registered_methods(), default=None,
+                       help="sampling methods to run (default: every "
+                            "registered sampler: "
+                            f"{', '.join(registered_methods())})")
+
     def add_jobs(p: argparse.ArgumentParser) -> None:
         p.add_argument("--jobs", type=int, default=1, metavar="N",
                        help="worker processes for per-benchmark runs "
@@ -597,6 +676,7 @@ def build_parser() -> argparse.ArgumentParser:
     run = sub.add_parser("run", help="run one benchmark with all methods")
     run.add_argument("benchmark", choices=benchmark_names())
     run.add_argument("--config", choices=("a", "b"), default="a")
+    add_methods(run)
     add_common(run)
     add_history(run)
     run.set_defaults(func=_cmd_run)
@@ -606,12 +686,37 @@ def build_parser() -> argparse.ArgumentParser:
     suite.add_argument("--progress", action="store_true")
     suite.add_argument("--quick", action="store_true",
                        help="only the quick benchmark subset")
+    add_methods(suite)
     add_jobs(suite)
     add_dispatch(suite)
     add_fault(suite)
     add_common(suite)
     add_history(suite)
     suite.set_defaults(func=_cmd_suite)
+
+    leaderboard = sub.add_parser(
+        "leaderboard",
+        help="run every registered sampler over a suite and rank them "
+             "by accuracy x speedup",
+    )
+    leaderboard.add_argument("--config", choices=("a", "b"), default="a")
+    leaderboard.add_argument("--progress", action="store_true")
+    leaderboard.add_argument("--quick", action="store_true",
+                             help="only the quick benchmark subset")
+    leaderboard.add_argument("--benchmarks", nargs="+", metavar="NAME",
+                             choices=benchmark_names(), default=None,
+                             help="only these benchmarks (default: the "
+                                  "whole suite, or --quick subset)")
+    leaderboard.add_argument("--json", metavar="FILE", default=None,
+                             help="also write the ranked tables as JSON "
+                                  "to FILE")
+    add_methods(leaderboard)
+    add_jobs(leaderboard)
+    add_dispatch(leaderboard)
+    add_fault(leaderboard)
+    add_common(leaderboard)
+    add_history(leaderboard)
+    leaderboard.set_defaults(func=_cmd_leaderboard)
 
     experiment = sub.add_parser(
         "experiment", help="regenerate a paper table or figure"

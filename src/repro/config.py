@@ -210,6 +210,13 @@ class SamplingConfig:
     random_seed: int = 42
     full_warming: bool = True
     warmup_instructions: int = 30 * SCALE
+    #: Two-phase stratified sampling: total detailed-interval budget
+    #: spread over the BBV-cluster strata (Neyman-style allocation).
+    stratified_budget: int = 30
+    #: Ranked-set sampling: set size m (ranks per cycle, also the number
+    #: of rank strata) and the number of repeated subsampling cycles r.
+    ranked_set_size: int = 5
+    ranked_set_cycles: int = 3
 
     def __post_init__(self) -> None:
         if self.fine_interval_size <= 0:
@@ -230,6 +237,12 @@ class SamplingConfig:
             raise ConfigError("kmeans_seeds must be positive")
         if self.warmup_instructions < 0:
             raise ConfigError("warmup_instructions must be non-negative")
+        if self.stratified_budget <= 0:
+            raise ConfigError("stratified_budget must be positive")
+        if self.ranked_set_size <= 0:
+            raise ConfigError("ranked_set_size must be positive")
+        if self.ranked_set_cycles <= 0:
+            raise ConfigError("ranked_set_cycles must be positive")
 
 
 #: Default sampling configuration used by the harness.

@@ -31,7 +31,7 @@ from ..obs import CACHE_CORRUPT, CACHE_HITS, CACHE_MISSES, MetricsRegistry
 #: content key *and* stored inside every entry, so an entry written under
 #: another schema is detectable (and quarantined) even if it lands on the
 #: same path.
-CACHE_SCHEMA_VERSION = 6
+CACHE_SCHEMA_VERSION = 7
 
 #: Environment variable overriding the cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"

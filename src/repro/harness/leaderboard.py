@@ -1,0 +1,204 @@
+"""The cross-method leaderboard (``repro leaderboard``).
+
+Runs (or reuses) one suite with *every* registered sampler and ranks the
+methods by a single accuracy-times-speedup score, per benchmark and in
+aggregate.  The score is::
+
+    score = speedup_over_full / (1 + ACCURACY_PENALTY * mean_abs_dev)
+
+with ``mean_abs_dev`` the arithmetic mean of the absolute CPI, L1 and L2
+deviations and ``speedup_over_full`` the modelled speedup over full
+detailed simulation (a method-independent denominator, so rankings do
+not shift with the method set).  ``ACCURACY_PENALTY = 100`` prices one
+percentage point of mean deviation at a factor-2 score cut — accuracy
+dominates unless two methods are equally accurate, which matches how
+the paper compares methods (accuracy tables first, speedup figures
+second).
+
+The aggregate row averages the per-benchmark absolute deviations
+arithmetically and the speedups geometrically (the paper's own
+convention for Figures 3/4), then re-scores.  Aggregate ranks feed the
+cross-run history (``HistoryRecord.ranks``), so ``repro obs diff``
+flags a sampler whose rank regressed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..config import DEFAULT_COST_MODEL, CostModel
+from ..errors import HarnessError
+from .runner import BenchmarkRun
+from .tables import format_table, geomean
+
+#: Score denominator weight: 1 point of mean absolute deviation (0.01)
+#: halves the score.
+ACCURACY_PENALTY = 100.0
+
+
+@dataclass(frozen=True)
+class LeaderboardRow:
+    """One method's scored entry in one table."""
+
+    method: str
+    cpi_dev: float
+    l1_dev: float
+    l2_dev: float
+    mean_abs_dev: float
+    speedup: float
+    score: float
+    rank: int
+
+    def to_dict(self) -> dict:
+        return {
+            "method": self.method,
+            "cpi_dev": self.cpi_dev,
+            "l1_dev": self.l1_dev,
+            "l2_dev": self.l2_dev,
+            "mean_abs_dev": self.mean_abs_dev,
+            "speedup": self.speedup,
+            "score": self.score,
+            "rank": self.rank,
+        }
+
+
+def _score(mean_abs_dev: float, speedup: float) -> float:
+    return speedup / (1.0 + ACCURACY_PENALTY * mean_abs_dev)
+
+
+def _ranked(entries: List[dict]) -> List[LeaderboardRow]:
+    """Score, sort (best first, ties by method name) and rank *entries*."""
+    scored = [
+        dict(entry, score=_score(entry["mean_abs_dev"], entry["speedup"]))
+        for entry in entries
+    ]
+    scored.sort(key=lambda e: (-e["score"], e["method"]))
+    return [
+        LeaderboardRow(rank=position, **entry)
+        for position, entry in enumerate(scored, start=1)
+    ]
+
+
+@dataclass
+class Leaderboard:
+    """Ranked per-benchmark and aggregate method tables."""
+
+    config_name: str
+    methods: Tuple[str, ...]
+    per_benchmark: Dict[str, List[LeaderboardRow]] = field(
+        default_factory=dict
+    )
+    aggregate: List[LeaderboardRow] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    @property
+    def ranks(self) -> Dict[str, float]:
+        """Aggregate rank per method (1 = best) — the history payload."""
+        return {row.method: float(row.rank) for row in self.aggregate}
+
+    def format(self) -> str:
+        """Render the aggregate table, then one table per benchmark."""
+        blocks = [self._format_rows(
+            self.aggregate,
+            title=f"leaderboard aggregate ({self.config_name}, "
+                  f"{len(self.per_benchmark)} benchmark(s))",
+        )]
+        for benchmark in sorted(self.per_benchmark):
+            blocks.append(self._format_rows(
+                self.per_benchmark[benchmark],
+                title=f"leaderboard: {benchmark}",
+            ))
+        return "\n\n".join(blocks)
+
+    @staticmethod
+    def _format_rows(rows: Sequence[LeaderboardRow], title: str) -> str:
+        return format_table(
+            ["rank", "method", "CPI dev", "L1 dev", "L2 dev", "mean dev",
+             "speedup", "score"],
+            [
+                [row.rank, row.method,
+                 f"{100 * row.cpi_dev:.2f}%",
+                 f"{100 * row.l1_dev:.2f}%",
+                 f"{100 * row.l2_dev:.2f}%",
+                 f"{100 * row.mean_abs_dev:.2f}%",
+                 f"{row.speedup:.2f}x",
+                 f"{row.score:.3f}"]
+                for row in rows
+            ],
+            title=title,
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (the ``--json`` artifact)."""
+        return {
+            "config_name": self.config_name,
+            "methods": list(self.methods),
+            "accuracy_penalty": ACCURACY_PENALTY,
+            "per_benchmark": {
+                benchmark: [row.to_dict() for row in rows]
+                for benchmark, rows in self.per_benchmark.items()
+            },
+            "aggregate": [row.to_dict() for row in self.aggregate],
+        }
+
+
+# ----------------------------------------------------------------------
+def build_leaderboard(
+    runs: Iterable[BenchmarkRun],
+    methods: Optional[Sequence[str]] = None,
+    model: CostModel = DEFAULT_COST_MODEL,
+) -> Leaderboard:
+    """Score and rank *methods* over the completed *runs*.
+
+    *methods* defaults to the first run's method set.  Every run must
+    carry all the ranked methods (the harness guarantees this for suite
+    outcomes — partial failures drop whole benchmarks, never methods).
+    """
+    runs = list(runs)
+    if not runs:
+        raise HarnessError("leaderboard needs at least one completed run")
+    chosen = tuple(methods) if methods is not None else tuple(runs[0].methods)
+    board = Leaderboard(
+        config_name=runs[0].config_name, methods=chosen
+    )
+
+    per_method: Dict[str, List[dict]] = {name: [] for name in chosen}
+    for run in runs:
+        entries = []
+        for name in chosen:
+            if name not in run.methods:
+                raise HarnessError(
+                    f"run {run.benchmark} lacks method {name!r} "
+                    f"(have {', '.join(run.methods)})"
+                )
+            deviation = run.methods[name].deviation
+            cell = {
+                "method": name,
+                "cpi_dev": deviation.cpi,
+                "l1_dev": deviation.l1_hit_rate,
+                "l2_dev": deviation.l2_hit_rate,
+                "mean_abs_dev": (
+                    abs(deviation.cpi) + abs(deviation.l1_hit_rate)
+                    + abs(deviation.l2_hit_rate)
+                ) / 3.0,
+                "speedup": run.speedup_over_full(name, model),
+            }
+            entries.append(cell)
+            per_method[name].append(cell)
+        board.per_benchmark[run.benchmark] = _ranked(entries)
+
+    aggregate_entries = []
+    for name in chosen:
+        cells = per_method[name]
+        count = len(cells)
+        aggregate_entries.append({
+            "method": name,
+            "cpi_dev": sum(c["cpi_dev"] for c in cells) / count,
+            "l1_dev": sum(c["l1_dev"] for c in cells) / count,
+            "l2_dev": sum(c["l2_dev"] for c in cells) / count,
+            "mean_abs_dev": sum(c["mean_abs_dev"] for c in cells) / count,
+            "speedup": geomean([c["speedup"] for c in cells]),
+        })
+    board.aggregate = _ranked(aggregate_entries)
+    return board

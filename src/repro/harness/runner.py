@@ -36,22 +36,18 @@ from ..config import (
 )
 from ..detailed.results import Deviation, Metrics, SimulationResult
 from ..detailed.timing import TimingSimulator
-from ..engine.functional import FunctionalSimulator
 from ..engine.trace import Trace, build_trace
 from ..errors import HarnessError
 from ..obs import ObsContext
 from ..obs.diag import DIAG_METRICS, MethodDiag, record_diag_metrics
-from ..sampling.coasts import Coasts
-from ..sampling.early import EarlySimPoint
+from ..samplers import PlanContext, get_sampler, registered_methods
 from ..sampling.estimate import (
     evaluate_plan,
     plan_ranges,
     simulate_point_set,
     simulate_tagged_ranges,
 )
-from ..sampling.multilevel import MultiLevelSampler
 from ..sampling.points import SamplingPlan
-from ..sampling.simpoint import SimPoint
 from ..workloads.registry import benchmark_names, load_workload
 from .cache import ResultCache
 from .faults import corrupt_cache_entry
@@ -67,8 +63,10 @@ from .timing import RunTiming, SuiteTiming
 
 logger = logging.getLogger(__name__)
 
-#: Methods the runner evaluates, in reporting order.
-ALL_METHODS: Tuple[str, ...] = ("simpoint", "early_sp", "coasts", "multilevel")
+#: Methods registered at import time, in reporting order — a convenience
+#: snapshot of :func:`repro.samplers.registered_methods` (the registry is
+#: the source of truth; samplers registered later appear there, not here).
+ALL_METHODS: Tuple[str, ...] = registered_methods()
 
 
 @dataclass(frozen=True)
@@ -150,6 +148,22 @@ class BenchmarkRun:
         return self.simulation_time(over, model, include_profiling) / \
             self.simulation_time(method, model, include_profiling)
 
+    def speedup_over_full(
+        self,
+        method: str,
+        model: CostModel = DEFAULT_COST_MODEL,
+        include_profiling: bool = False,
+    ) -> float:
+        """Speedup of *method* over full-trace detailed simulation.
+
+        The leaderboard's speedup axis: every method is compared against
+        the same denominator (``total_instructions * detail_cost``), so
+        rankings do not depend on which other methods ran.
+        """
+        self._stats(method)  # raise early on an absent method
+        full = self.total_instructions * model.detail_cost
+        return full / self.simulation_time(method, model, include_profiling)
+
     def _stats(self, method: str) -> PlanStats:
         if method not in self.methods:
             raise HarnessError(
@@ -212,7 +226,7 @@ class ExperimentRunner:
         cost_model: CostModel = DEFAULT_COST_MODEL,
         cache: Optional[ResultCache] = None,
         workload_scale: float = 1.0,
-        methods: Iterable[str] = ALL_METHODS,
+        methods: Optional[Iterable[str]] = None,
         jobs: int = 1,
         policy: Optional[FaultPolicy] = None,
         diagnostics: bool = True,
@@ -221,13 +235,19 @@ class ExperimentRunner:
         self.cost_model = cost_model
         self.cache = cache if cache is not None else ResultCache()
         self.workload_scale = workload_scale
-        self.methods = tuple(methods)
+        #: Methods this runner evaluates; defaults to every sampler
+        #: registered (at construction time) with repro.samplers.
+        registered = registered_methods()
+        self.methods = tuple(methods) if methods is not None else registered
         #: Whether to run the accuracy-diagnostics stage (per-phase error
         #: attribution; costs roughly one extra detailed pass per run).
         self.diagnostics = diagnostics
-        unknown = set(self.methods) - set(ALL_METHODS)
+        unknown = set(self.methods) - set(registered)
         if unknown:
-            raise HarnessError(f"unknown methods: {sorted(unknown)}")
+            raise HarnessError(
+                f"unknown methods: {sorted(unknown)} "
+                f"(registered: {', '.join(registered)})"
+            )
         if jobs < 0:
             raise HarnessError(f"jobs must be >= 0, got {jobs}")
         #: Default worker count for :meth:`run_suite` (overridable per
@@ -261,6 +281,10 @@ class ExperimentRunner:
         #: were built (memoised alongside ``_plans``; the per-config copy
         #: each run completes lives on its :class:`BenchmarkRun`).
         self._plan_diags: Dict[str, Dict[str, MethodDiag]] = {}
+        #: Per-benchmark :class:`~repro.samplers.PlanContext` memos, so
+        #: incrementally requested methods share the profiles already
+        #: collected for earlier ones.
+        self._contexts: Dict[str, PlanContext] = {}
 
     # ------------------------------------------------------------------
     def trace(self, benchmark: str) -> Trace:
@@ -276,62 +300,50 @@ class ExperimentRunner:
         self._traces[benchmark] = trace
 
     def plans(
-        self, benchmark: str, _record: Optional[RunTiming] = None
+        self,
+        benchmark: str,
+        _record: Optional[RunTiming] = None,
+        methods: Optional[Iterable[str]] = None,
     ) -> Dict[str, SamplingPlan]:
-        """All requested sampling plans for *benchmark* (memoised).
+        """The requested sampling plans for *benchmark* (memoised).
+
+        *methods* defaults to the runner's; only plans not already
+        memoised are built (through each method's registered
+        :class:`~repro.samplers.SamplerSpec`), so incremental requests
+        never re-cluster.  The returned dict is the per-benchmark memo —
+        it accumulates every method ever requested for *benchmark*.
 
         ``_record`` lets :meth:`run_benchmark` attribute the profiling and
         plan-construction stages; external callers omit it.
         """
-        if benchmark in self._plans:
-            return self._plans[benchmark]
+        requested = tuple(methods) if methods is not None else self.methods
+        plans = self._plans.setdefault(benchmark, {})
+        diags = self._plan_diags.setdefault(benchmark, {})
+        missing = [name for name in requested if name not in plans]
+        if not missing:
+            return plans
         trace = self.trace(benchmark)
-        functional = FunctionalSimulator(trace, metrics=self.obs.metrics)
-        plans: Dict[str, SamplingPlan] = {}
-        fine_profile = None
-        if {"simpoint", "early_sp"} & set(self.methods):
+        context = self._contexts.get(benchmark)
+        if context is None:
+            context = PlanContext(
+                trace, self.sampling, benchmark, obs=self.obs
+            )
+            self._contexts[benchmark] = context
+        specs = [get_sampler(name) for name in missing]
+        if (
+            any("fine" in spec.requires for spec in specs)
+            and not context.has_fine_profile
+        ):
             with self.timing.stage(_record, "profiling"):
-                fine_profile = functional.profile_fixed_intervals(
-                    self.sampling.fine_interval_size
-                )
+                context.fine_profile()
         # The coarse samplers profile internally; their time lands in
         # plan_construction (the fine BBV pass dominates profiling cost).
-        diags: Dict[str, MethodDiag] = {}
         with self.timing.stage(_record, "plan_construction"):
-            if "simpoint" in self.methods:
-                sampler = SimPoint(self.sampling, obs=self.obs)
-                plans["simpoint"] = sampler.sample(
-                    fine_profile, benchmark=benchmark
-                )
-                if sampler.last_diagnostics is not None:
-                    diags["simpoint"] = sampler.last_diagnostics
-            if "early_sp" in self.methods:
-                sampler = EarlySimPoint(self.sampling, obs=self.obs)
-                plans["early_sp"] = sampler.sample(
-                    fine_profile, benchmark=benchmark
-                )
-                if sampler.last_diagnostics is not None:
-                    diags["early_sp"] = sampler.last_diagnostics
-            coarse_plan = None
-            coarse_diag = None
-            if {"coasts", "multilevel"} & set(self.methods):
-                coarse_sampler = Coasts(self.sampling, obs=self.obs)
-                coarse_plan = coarse_sampler.sample(trace, benchmark=benchmark)
-                coarse_diag = coarse_sampler.last_diagnostics
-            if "coasts" in self.methods:
-                plans["coasts"] = coarse_plan
-                if coarse_diag is not None:
-                    diags["coasts"] = coarse_diag
-            if "multilevel" in self.methods:
-                sampler = MultiLevelSampler(self.sampling, obs=self.obs)
-                plans["multilevel"] = sampler.sample(
-                    trace, benchmark=benchmark,
-                    coarse_plan=coarse_plan, coarse_diag=coarse_diag,
-                )
-                if sampler.last_diagnostics is not None:
-                    diags["multilevel"] = sampler.last_diagnostics
-        self._plans[benchmark] = plans
-        self._plan_diags[benchmark] = diags
+            for spec in specs:
+                plan, diag = spec.build_plan(context)
+                plans[spec.name] = plan
+                if diag is not None:
+                    diags[spec.name] = diag
         return plans
 
     # ------------------------------------------------------------------
@@ -339,51 +351,83 @@ class ExperimentRunner:
         from ..workloads.registry import get_spec
 
         # The spec repr fingerprints the workload definition, so cached
-        # results are invalidated whenever the suite is re-tuned.
+        # results are invalidated whenever the suite is re-tuned.  The
+        # method set is deliberately NOT part of the key: one entry per
+        # (benchmark, config) accumulates methods, so growing the
+        # requested set is a partial hit (compute only the missing
+        # methods), not a full recompute.
         return (
             f"run:{benchmark}:{get_spec(benchmark)!r}:{config!r}:"
-            f"{self.sampling!r}:scale={self.workload_scale}:"
-            f"methods={','.join(self.methods)}"
+            f"{self.sampling!r}:scale={self.workload_scale}"
         )
 
     def run_benchmark(
         self, benchmark: str, config: MachineConfig = CONFIG_A
     ) -> BenchmarkRun:
-        """Full pipeline for one benchmark and config (disk-cached)."""
+        """Full pipeline for one benchmark and config (disk-cached).
+
+        The cache entry is keyed per (benchmark, config) and accumulates
+        methods: a request whose method set is covered by the entry is a
+        pure hit; a request that grows the set computes *only* the
+        missing methods (reusing the cached baseline — point simulation
+        starts from fresh machine state, so skipping the baseline pass
+        cannot perturb it) and re-publishes the merged entry.  A method's
+        numbers are always those of the set it was first computed with.
+        """
         with self.timing.run(benchmark, config.name) as record:
             key = self._cache_key(benchmark, config)
-            cached = self.cache.get(key)
+            payload = self.cache.get(key)
+            cached = BenchmarkRun.from_dict(payload) if payload else None
             if cached is not None:
-                record.cache_hit = True
-                logger.debug("[%s] %s: cache hit", config.name, benchmark)
-                run = BenchmarkRun.from_dict(cached)
-                # Gauges, not counters, so re-recording on every hit is
-                # idempotent and a cached run still surfaces its
-                # diagnostics in --metrics-out / `obs diag`.
-                record_diag_metrics(self.obs.metrics, run.diagnostics)
-                return run
+                compute = [
+                    name for name in self.methods
+                    if name not in cached.methods
+                ]
+                if not compute:
+                    record.cache_hit = True
+                    logger.debug(
+                        "[%s] %s: cache hit", config.name, benchmark
+                    )
+                    run = self._select_methods(cached)
+                    # Gauges, not counters, so re-recording on every hit
+                    # is idempotent and a cached run still surfaces its
+                    # diagnostics in --metrics-out / `obs diag`.
+                    record_diag_metrics(self.obs.metrics, run.diagnostics)
+                    return run
+                logger.debug(
+                    "[%s] %s: partial cache hit (computing %s)",
+                    config.name, benchmark, ", ".join(compute),
+                )
+            else:
+                compute = list(self.methods)
 
             with self.timing.stage(record, "trace_build"):
                 trace = self.trace(benchmark)
-            plans = self.plans(benchmark, record)
-            with self.timing.stage(record, "baseline"):
+            plans = self.plans(benchmark, record, methods=compute)
+            if cached is None:
+                with self.timing.stage(record, "baseline"):
+                    simulator = TimingSimulator(
+                        trace, config, metrics=self.obs.metrics
+                    )
+                    baseline = simulator.simulate_full().metrics()
+            else:
                 simulator = TimingSimulator(
                     trace, config, metrics=self.obs.metrics
                 )
-                baseline = simulator.simulate_full().metrics()
+                baseline = cached.baseline
 
             with self.timing.stage(record, "point_simulation"):
                 if self.sampling.full_warming:
                     union = sorted(
-                        {r for plan in plans.values()
-                         for r in plan_ranges(plan)}
+                        {r for name in compute
+                         for r in plan_ranges(plans[name])}
                     )
                     leaf_cache: Dict[Tuple[int, int], SimulationResult] = \
                         simulate_point_set(simulator, union)
                 else:
                     leaf_cache = {}
                 methods: Dict[str, MethodResult] = {}
-                for name in self.methods:
+                for name in compute:
                     plan = plans[name]
                     evaluation = evaluate_plan(
                         plan, simulator, baseline, config=self.sampling,
@@ -403,21 +447,42 @@ class ExperimentRunner:
                         simulator,
                     )
 
-            run = BenchmarkRun(
+            merged_methods = dict(cached.methods) if cached else {}
+            merged_methods.update(methods)
+            merged_diags = dict(cached.diagnostics) if cached else {}
+            merged_diags.update(diags)
+            merged = BenchmarkRun(
                 benchmark=benchmark,
                 config_name=config.name,
                 total_instructions=trace.total_instructions,
                 baseline=baseline,
-                methods=methods,
-                diagnostics=diags,
+                methods=merged_methods,
+                diagnostics=merged_diags,
             )
-            self.cache.put(key, run.to_dict())
-            record_diag_metrics(self.obs.metrics, diags)
+            self.cache.put(key, merged.to_dict())
+            run = self._select_methods(merged)
+            record_diag_metrics(self.obs.metrics, run.diagnostics)
             # Fault-injection hook: tests corrupt the just-published entry
             # to prove torn cache files are quarantined, not trusted
             # (no-op unless $REPRO_FAULTS configures a `corrupt` fault).
             corrupt_cache_entry(self.cache, key, benchmark)
             return run
+
+    def _select_methods(self, run: BenchmarkRun) -> BenchmarkRun:
+        """*run* restricted and re-ordered to this runner's method set."""
+        if tuple(run.methods) == self.methods:
+            return run
+        return BenchmarkRun(
+            benchmark=run.benchmark,
+            config_name=run.config_name,
+            total_instructions=run.total_instructions,
+            baseline=run.baseline,
+            methods={name: run.methods[name] for name in self.methods},
+            diagnostics={
+                name: run.diagnostics[name]
+                for name in self.methods if name in run.diagnostics
+            },
+        )
 
     def _diagnose(
         self,
@@ -439,7 +504,7 @@ class ExperimentRunner:
         base = self._plan_diags.get(benchmark, {})
         diags: Dict[str, MethodDiag] = {}
         tagged: Dict[Tuple[str, int], List[Tuple[int, int]]] = {}
-        for name in self.methods:
+        for name in methods:
             source = base.get(name)
             if source is None:
                 continue

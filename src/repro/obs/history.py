@@ -91,6 +91,9 @@ class HistoryRecord:
     counters: Dict[str, float] = field(default_factory=dict)
     #: Bench speedup ratios per case (``kind == "bench"`` records).
     speedups: Dict[str, float] = field(default_factory=dict)
+    #: Aggregate leaderboard rank per method, 1 = best
+    #: (``kind == "leaderboard"`` records; see ``repro leaderboard``).
+    ranks: Dict[str, float] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     def comparable_key(self) -> Dict[str, object]:
@@ -140,6 +143,7 @@ class HistoryRecord:
             },
             "counters": dict(self.counters),
             "speedups": dict(self.speedups),
+            "ranks": dict(self.ranks),
         }
 
     @staticmethod
@@ -450,6 +454,27 @@ def diff_records(
         diff.entries.append(DiffEntry(
             name=f"speedup:{case}", a=va, b=vb, delta=delta, verdict=verdict,
         ))
+
+    # Leaderboard ranks: a method sliding down the table (rank number
+    # grew) is a regression — the signal CI's leaderboard smoke guards.
+    for method in sorted(set(a.ranks) | set(b.ranks)):
+        va, vb = a.ranks.get(method), b.ranks.get(method)
+        if va is None or vb is None:
+            side = "first" if va is None else "second"
+            diff.notes.append(
+                f"rank {method}: absent from the {side} record"
+            )
+            continue
+        delta = vb - va
+        if vb > va:
+            verdict = "REGRESSED"
+        elif vb < va:
+            verdict = "IMPROVED"
+        else:
+            verdict = "PASS"
+        diff.entries.append(DiffEntry(
+            name=f"rank:{method}", a=va, b=vb, delta=delta, verdict=verdict,
+        ))
     return diff
 
 
@@ -464,7 +489,7 @@ def format_history(
     if limit > 0:
         chosen = chosen[-limit:]
     lines = [
-        f"{'run_id':<14}{'kind':<7}{'created':<26}{'config':<10}"
+        f"{'run_id':<14}{'kind':<13}{'created':<26}{'config':<10}"
         f"{'scale':>7}  benchmarks"
     ]
     for record in chosen:
@@ -472,7 +497,7 @@ def format_history(
         if len(benches) > 40:
             benches = benches[:37] + "..."
         lines.append(
-            f"{record.run_id:<14}{record.kind:<7}{record.created:<26}"
+            f"{record.run_id:<14}{record.kind:<13}{record.created:<26}"
             f"{(record.config_name or '-'):<10}"
             f"{record.workload_scale:>7.3g}  {benches}"
         )

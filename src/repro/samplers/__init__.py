@@ -1,0 +1,28 @@
+"""Pluggable sampler registry (see README § Samplers).
+
+Importing this package registers the built-in methods; everything the
+harness knows about "which sampling methods exist" flows from here.
+"""
+
+from . import builtin  # noqa: F401  (self-registration side effect)
+from .registry import (
+    KNOWN_REQUIREMENTS,
+    PlanContext,
+    SamplerSpec,
+    add_spec,
+    get_sampler,
+    register_sampler,
+    registered_methods,
+    unregister_sampler,
+)
+
+__all__ = [
+    "KNOWN_REQUIREMENTS",
+    "PlanContext",
+    "SamplerSpec",
+    "add_spec",
+    "get_sampler",
+    "register_sampler",
+    "registered_methods",
+    "unregister_sampler",
+]

@@ -12,7 +12,9 @@ from .early import EarlySimPoint
 from .estimate import PlanEvaluation, estimate_plan, evaluate_plan, simulate_leaf
 from .multilevel import MultiLevelSampler
 from .points import SamplingPlan, SimulationPoint
+from .ranked_set import RankedSetSampler
 from .simpoint import DEFAULT_MAX_CLUSTER_SAMPLES, SimPoint
+from .stratified import StratifiedSampler
 
 __all__ = [
     "BoundaryInfo",
@@ -21,8 +23,10 @@ __all__ = [
     "EarlySimPoint",
     "MultiLevelSampler",
     "PlanEvaluation",
+    "RankedSetSampler",
     "SamplingPlan",
     "SimPoint",
+    "StratifiedSampler",
     "SimulationCost",
     "SimulationPoint",
     "estimate_plan",

@@ -72,7 +72,8 @@ class TestTables:
 class TestRunner:
     def test_run_contains_all_methods(self, gzip_run):
         assert set(gzip_run.methods) == {
-            "simpoint", "early_sp", "coasts", "multilevel"
+            "simpoint", "early_sp", "coasts", "multilevel",
+            "stratified", "ranked_set",
         }
         assert gzip_run.baseline.cpi > 0
 
@@ -101,6 +102,63 @@ class TestRunner:
 
     def test_plans_memoised(self, runner):
         assert runner.plans("gzip") is runner.plans("gzip")
+
+    def test_speedup_over_full_exceeds_one(self, gzip_run):
+        for method in gzip_run.methods:
+            assert gzip_run.speedup_over_full(method) > 1.0
+
+
+class TestMethodSetCache:
+    """Cached runs extend, rather than invalidate, when methods grow."""
+
+    def _runner(self, tmp_path, test_sampling, methods):
+        return ExperimentRunner(
+            sampling=test_sampling,
+            cache=ResultCache(tmp_path / "cache"),
+            workload_scale=0.12,
+            methods=methods,
+        )
+
+    def test_subset_request_is_pure_hit(self, tmp_path, test_sampling):
+        full = self._runner(tmp_path, test_sampling,
+                            ("simpoint", "coasts"))
+        full.run_benchmark("gzip", CONFIG_A)
+        sub = self._runner(tmp_path, test_sampling, ("coasts",))
+        run = sub.run_benchmark("gzip", CONFIG_A)
+        assert tuple(run.methods) == ("coasts",)
+        record = sub.timing.runs[-1]
+        assert record.cache_hit
+
+    def test_extension_computes_only_missing(self, tmp_path,
+                                             test_sampling):
+        first = self._runner(tmp_path, test_sampling, ("coasts",))
+        base = first.run_benchmark("gzip", CONFIG_A)
+        both = self._runner(tmp_path, test_sampling,
+                            ("coasts", "multilevel"))
+        extended = both.run_benchmark("gzip", CONFIG_A)
+        assert set(extended.methods) == {"coasts", "multilevel"}
+        # The cached method came back byte-identical...
+        assert extended.methods["coasts"] == base.methods["coasts"]
+        assert extended.baseline == base.baseline
+        # ...and the new one matches a fresh missing-only run exactly.
+        fresh = self._runner(tmp_path / "other", test_sampling,
+                             ("multilevel",))
+        alone = fresh.run_benchmark("gzip", CONFIG_A)
+        assert extended.methods["multilevel"] == \
+            alone.methods["multilevel"]
+
+    def test_extension_then_full_set_is_pure_hit(self, tmp_path,
+                                                 test_sampling):
+        self._runner(tmp_path, test_sampling,
+                     ("coasts",)).run_benchmark("gzip", CONFIG_A)
+        both = self._runner(tmp_path, test_sampling,
+                            ("coasts", "ranked_set"))
+        both.run_benchmark("gzip", CONFIG_A)
+        again = self._runner(tmp_path, test_sampling,
+                             ("coasts", "ranked_set"))
+        run = again.run_benchmark("gzip", CONFIG_A)
+        assert set(run.methods) == {"coasts", "ranked_set"}
+        assert again.timing.runs[-1].cache_hit
 
 
 class TestResultCache:

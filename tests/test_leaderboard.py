@@ -1,0 +1,195 @@
+"""Tests for the cross-method leaderboard and its history integration."""
+
+import json
+
+import pytest
+
+from repro.detailed.results import Deviation, Metrics
+from repro.errors import HarnessError
+from repro.harness import (
+    ACCURACY_PENALTY,
+    BenchmarkRun,
+    MethodResult,
+    PlanStats,
+    build_leaderboard,
+)
+from repro.obs import diff_records
+from repro.obs.history import HistoryRecord
+
+
+def _method(name, dev, detail_instructions):
+    return MethodResult(
+        stats=PlanStats(
+            method=name, n_points=1, n_leaves=1, n_clusters=1,
+            detail_instructions=detail_instructions,
+            functional_instructions=0,
+            mean_interval_size=float(detail_instructions),
+            last_point_position=1.0,
+        ),
+        estimate=Metrics(cpi=1.0, l1_hit_rate=0.9, l2_hit_rate=0.9),
+        deviation=Deviation(cpi=dev, l1_hit_rate=dev, l2_hit_rate=dev),
+    )
+
+
+def _run(benchmark, specs, total=100_000):
+    """specs: {method: (uniform deviation, detail instructions)}."""
+    return BenchmarkRun(
+        benchmark=benchmark,
+        config_name="config_a",
+        total_instructions=total,
+        baseline=Metrics(cpi=1.0, l1_hit_rate=0.9, l2_hit_rate=0.9),
+        methods={
+            name: _method(name, dev, detail)
+            for name, (dev, detail) in specs.items()
+        },
+    )
+
+
+class TestLeaderboardMath:
+    def test_accurate_and_cheap_ranks_first(self):
+        # Scores: sharp 100/2 = 50, slow 4/2 = 2, sloppy 100/101 ~ 0.99.
+        run = _run("gzip", {
+            "sharp": (0.01, 1_000),    # fast and accurate
+            "sloppy": (1.00, 1_000),   # fast but wildly inaccurate
+            "slow": (0.01, 25_000),    # accurate but slow
+        })
+        board = build_leaderboard([run])
+        assert [r.method for r in board.aggregate] == \
+            ["sharp", "slow", "sloppy"]
+        assert board.ranks == {"sharp": 1.0, "slow": 2.0, "sloppy": 3.0}
+
+    def test_score_formula(self):
+        run = _run("gzip", {"only": (0.05, 10_000)})
+        row = build_leaderboard([run]).aggregate[0]
+        # detail-only plan, no functional work: speedup = total / detail
+        assert row.speedup == pytest.approx(10.0)
+        assert row.mean_abs_dev == pytest.approx(0.05)
+        assert row.score == pytest.approx(
+            10.0 / (1.0 + ACCURACY_PENALTY * 0.05)
+        )
+
+    def test_aggregate_uses_geomean_speedup_and_mean_dev(self):
+        runs = [
+            _run("gzip", {"m": (0.02, 25_000)}),   # speedup 4
+            _run("mcf", {"m": (0.04, 1_000)}),     # speedup 100
+        ]
+        row = build_leaderboard(runs).aggregate[0]
+        assert row.speedup == pytest.approx(20.0)  # sqrt(4 * 100)
+        assert row.mean_abs_dev == pytest.approx(0.03)
+
+    def test_tie_breaks_by_method_name(self):
+        run = _run("gzip", {"zeta": (0.05, 10_000), "alpha": (0.05, 10_000)})
+        board = build_leaderboard([run])
+        assert [r.method for r in board.aggregate] == ["alpha", "zeta"]
+
+    def test_per_benchmark_tables(self):
+        runs = [
+            _run("gzip", {"a": (0.01, 1_000), "b": (0.10, 1_000)}),
+            _run("mcf", {"a": (0.10, 1_000), "b": (0.01, 1_000)}),
+        ]
+        board = build_leaderboard(runs)
+        assert board.per_benchmark["gzip"][0].method == "a"
+        assert board.per_benchmark["mcf"][0].method == "b"
+
+    def test_no_runs_rejected(self):
+        with pytest.raises(HarnessError):
+            build_leaderboard([])
+
+    def test_missing_method_rejected(self):
+        run = _run("gzip", {"a": (0.01, 1_000)})
+        with pytest.raises(HarnessError):
+            build_leaderboard([run], methods=("a", "ghost"))
+
+    def test_format_and_to_dict(self):
+        run = _run("gzip", {"a": (0.01, 1_000), "b": (0.10, 1_000)})
+        board = build_leaderboard([run])
+        text = board.format()
+        assert "leaderboard aggregate" in text
+        assert "leaderboard: gzip" in text
+        payload = json.loads(json.dumps(board.to_dict()))
+        assert payload["methods"] == ["a", "b"]
+        assert [r["method"] for r in payload["aggregate"]] == ["a", "b"]
+        assert payload["aggregate"][0]["rank"] == 1
+
+
+class TestRankHistory:
+    def _record(self, ranks):
+        record = HistoryRecord(kind="leaderboard", ranks=ranks)
+        return record.seal()
+
+    def test_rank_regression_flagged(self):
+        a = self._record({"coasts": 1.0, "stratified": 2.0})
+        b = self._record({"coasts": 2.0, "stratified": 1.0})
+        diff = diff_records(a, b)
+        by_name = {e.name: e.verdict for e in diff.entries}
+        assert by_name["rank:coasts"] == "REGRESSED"
+        assert by_name["rank:stratified"] == "IMPROVED"
+        assert diff.verdict == "REGRESSED"
+
+    def test_equal_ranks_pass(self):
+        a = self._record({"coasts": 1.0})
+        b = self._record({"coasts": 1.0})
+        diff = diff_records(a, b)
+        assert diff.verdict == "PASS"
+
+    def test_absent_side_noted_not_regressed(self):
+        a = self._record({"coasts": 1.0})
+        b = self._record({"coasts": 1.0, "ranked_set": 2.0})
+        diff = diff_records(a, b)
+        assert any("ranked_set" in note for note in diff.notes)
+        assert diff.verdict == "PASS"
+
+    def test_from_dict_without_ranks_is_backward_compatible(self):
+        payload = self._record({"coasts": 1.0}).to_dict()
+        del payload["ranks"]
+        record = HistoryRecord.from_dict(payload)
+        assert record.ranks == {}
+
+    def test_ranks_roundtrip(self):
+        record = self._record({"coasts": 1.0})
+        rebuilt = HistoryRecord.from_dict(record.to_dict())
+        assert rebuilt.ranks == {"coasts": 1.0}
+
+
+class TestLeaderboardCli:
+    def test_leaderboard_command(self, tmp_path, capsys, monkeypatch):
+        from repro.cli import main
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        json_path = tmp_path / "board.json"
+        code = main([
+            "--scale", "0.04", "leaderboard", "--benchmarks", "gzip",
+            "--json", str(json_path),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "leaderboard aggregate" in out
+        assert "leaderboard: gzip" in out
+        payload = json.loads(json_path.read_text())
+        assert len(payload["aggregate"]) >= 6
+        ranks = {r["method"]: r["rank"] for r in payload["aggregate"]}
+        assert set(ranks) >= {
+            "simpoint", "early_sp", "coasts", "multilevel",
+            "stratified", "ranked_set",
+        }
+
+    def test_leaderboard_appends_ranked_history(self, tmp_path, capsys,
+                                                monkeypatch):
+        from repro.cli import main
+        from repro.obs.history import RunHistory
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        history_dir = tmp_path / "hist"
+        code = main([
+            "--scale", "0.04", "leaderboard", "--benchmarks", "gzip",
+            "--methods", "coasts", "stratified",
+            "--history-dir", str(history_dir),
+        ])
+        capsys.readouterr()
+        assert code == 0
+        records = RunHistory(history_dir).load()
+        assert len(records) == 1
+        record = records[0]
+        assert record.kind == "leaderboard"
+        assert set(record.ranks) == {"coasts", "stratified"}
+        assert sorted(record.ranks.values()) == [1.0, 2.0]

@@ -1,0 +1,245 @@
+"""Tests for the pluggable sampler registry and sampler conformance.
+
+Two halves:
+
+* registry unit tests — registration order, validation, third-party
+  registration driving the harness end to end;
+* a conformance suite parametrized over *every* registered sampler —
+  plan determinism, exact per-phase error attribution, and
+  serial == parallel result identity.  A new sampler gets all of these
+  for free the moment it registers.
+"""
+
+import pytest
+
+from repro.config import CONFIG_A
+from repro.errors import HarnessError, SamplingError
+from repro.harness import ExperimentRunner, ResultCache
+from repro.samplers import (
+    PlanContext,
+    SamplerSpec,
+    add_spec,
+    get_sampler,
+    register_sampler,
+    registered_methods,
+    unregister_sampler,
+)
+from repro.sampling import SamplingPlan, SimulationPoint
+
+#: The shipped registration order (paper methods, then related work).
+BUILTINS = (
+    "simpoint", "early_sp", "coasts", "multilevel",
+    "stratified", "ranked_set",
+)
+
+#: Golden deviation pins for the two related-work samplers (gzip @
+#: scale 0.04, config A, the golden-accuracy sampling config); same
+#: re-pinning protocol as tests/test_golden_accuracy.py.
+GOLDEN_NEW = {
+    "stratified": {
+        "cpi": 0.08417785393393411,
+        "l1_hit_rate": 0.06223871217985388,
+        "l2_hit_rate": 0.0529944983066456,
+    },
+    "ranked_set": {
+        "cpi": 0.33646997098952275,
+        "l1_hit_rate": 0.04848257982913784,
+        "l2_hit_rate": 0.09929835809067378,
+    },
+}
+
+RTOL = 1e-9
+
+
+def _noop_build(ctx):  # pragma: no cover - registration fodder
+    raise NotImplementedError
+
+
+class TestRegistry:
+    def test_builtin_registration_order(self):
+        assert registered_methods() == BUILTINS
+
+    def test_get_sampler_returns_spec(self):
+        spec = get_sampler("stratified")
+        assert spec.name == "stratified"
+        assert "fine" in spec.requires
+        assert "stratified_budget" in spec.config_knobs
+
+    def test_unknown_name_lists_registered(self):
+        with pytest.raises(SamplingError) as err:
+            get_sampler("magic")
+        for name in BUILTINS:
+            assert name in str(err.value)
+
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(SamplingError):
+            add_spec(SamplerSpec(
+                name="simpoint", description="dup", build_plan=_noop_build,
+            ))
+
+    def test_unknown_requirement_rejected(self):
+        with pytest.raises(SamplingError):
+            add_spec(SamplerSpec(
+                name="medium_sp", description="", build_plan=_noop_build,
+                requires=("medium",),
+            ))
+        assert "medium_sp" not in registered_methods()
+
+    def test_unknown_config_knob_rejected(self):
+        with pytest.raises(SamplingError):
+            add_spec(SamplerSpec(
+                name="knobby", description="", build_plan=_noop_build,
+                config_knobs=("bogus_knob",),
+            ))
+        assert "knobby" not in registered_methods()
+
+    def test_unregister_unknown_is_noop(self):
+        unregister_sampler("never_registered")
+
+
+class TestThirdPartyRegistration:
+    """Registering a sampler is the only step to enter the harness."""
+
+    def test_runner_drives_custom_sampler(self, tmp_path, test_sampling):
+        @register_sampler("first_interval", "first fine interval only",
+                          requires=("fine",))
+        def _build(ctx):
+            profile = ctx.fine_profile()
+            start = int(profile.starts[0])
+            end = start + int(profile.instructions[0])
+            plan = SamplingPlan(
+                method="first_interval",
+                benchmark=ctx.benchmark,
+                points=(SimulationPoint(
+                    start=start, end=end, weight=1.0, phase=0,
+                    interval_index=0,
+                ),),
+                total_instructions=ctx.trace.total_instructions,
+                n_clusters=1,
+                origin=start,
+            )
+            return plan, None
+
+        try:
+            assert "first_interval" in registered_methods()
+            runner = ExperimentRunner(
+                sampling=test_sampling,
+                cache=ResultCache(tmp_path / "cache"),
+                workload_scale=0.04,
+                methods=("first_interval",),
+            )
+            run = runner.run_benchmark("gzip", CONFIG_A)
+            assert tuple(run.methods) == ("first_interval",)
+            assert run.methods["first_interval"].estimate.cpi > 0
+            # No clustering diag registered -> no diagnostics entry
+            # required, and the unknown-method error names it while
+            # registered.
+            with pytest.raises(HarnessError) as err:
+                ExperimentRunner(
+                    sampling=test_sampling, methods=("bogus",)
+                )
+            assert "first_interval" in str(err.value)
+        finally:
+            unregister_sampler("first_interval")
+        assert "first_interval" not in registered_methods()
+
+
+# ----------------------------------------------------------------------
+# Conformance: every registered sampler, one parametrized contract.
+
+@pytest.fixture(scope="module")
+def conformance_runner(tmp_path_factory, test_sampling):
+    return ExperimentRunner(
+        sampling=test_sampling,
+        cache=ResultCache(tmp_path_factory.mktemp("conf_cache")),
+        workload_scale=0.04,
+    )
+
+
+@pytest.fixture(scope="module")
+def conformance_run(conformance_runner):
+    return conformance_runner.run_benchmark("gzip", CONFIG_A)
+
+
+@pytest.mark.parametrize("method", registered_methods())
+class TestSamplerConformance:
+    def test_plan_is_deterministic(self, method, small_trace,
+                                   test_sampling):
+        spec = get_sampler(method)
+        plans = []
+        for _ in range(2):
+            context = PlanContext(small_trace, test_sampling, "gzip")
+            plan, _diag = spec.build_plan(context)
+            plans.append(plan)
+        assert plans[0] == plans[1]
+
+    def test_plan_covers_weight_one(self, method, conformance_runner):
+        plan = conformance_runner.plans("gzip")[method]
+        assert plan.method == method
+        assert sum(p.weight for p in plan.points) == pytest.approx(1.0)
+
+    def test_attribution_is_exact(self, method, conformance_run):
+        """est - base splits exactly into phase terms plus residual."""
+        diag = conformance_run.diagnostics[method]
+        for metric, total in diag.total_error.items():
+            recomposed = sum(
+                row.contributions.get(metric, 0.0) for row in diag.phases
+            ) + diag.residual[metric]
+            assert recomposed == pytest.approx(total, abs=1e-9)
+
+    def test_estimate_within_sanity_bounds(self, method, conformance_run):
+        estimate = conformance_run.methods[method].estimate
+        assert 0.0 < estimate.cpi < 10.0
+        assert 0.0 <= estimate.l1_hit_rate <= 1.0
+        assert 0.0 <= estimate.l2_hit_rate <= 1.0
+
+
+def test_serial_equals_parallel(tmp_path, test_sampling):
+    """All-methods results are byte-identical across execution modes."""
+    def outcome(jobs, sub):
+        runner = ExperimentRunner(
+            sampling=test_sampling,
+            cache=ResultCache(tmp_path / sub),
+            workload_scale=0.04,
+            jobs=jobs,
+        )
+        result = runner.run_suite(names=["gzip"], jobs=jobs)
+        return [run.to_dict() for run in result]
+
+    assert outcome(1, "serial") == outcome(2, "parallel")
+
+
+class TestNewSamplerGoldens:
+    @pytest.fixture(scope="class")
+    def golden_run(self, test_sampling):
+        runner = ExperimentRunner(
+            sampling=test_sampling,
+            cache=ResultCache(enabled=False),
+            workload_scale=0.04,
+            methods=tuple(GOLDEN_NEW),
+        )
+        return runner.run_benchmark("gzip", CONFIG_A)
+
+    @pytest.mark.parametrize("method", sorted(GOLDEN_NEW))
+    def test_deviations_pinned(self, golden_run, method):
+        deviation = golden_run.methods[method].deviation
+        expected = GOLDEN_NEW[method]
+        assert deviation.cpi == pytest.approx(expected["cpi"], rel=RTOL)
+        assert deviation.l1_hit_rate == pytest.approx(
+            expected["l1_hit_rate"], rel=RTOL
+        )
+        assert deviation.l2_hit_rate == pytest.approx(
+            expected["l2_hit_rate"], rel=RTOL
+        )
+
+    def test_stratified_respects_budget(self, golden_run, test_sampling):
+        stats = golden_run.methods["stratified"].stats
+        assert stats.n_leaves <= test_sampling.stratified_budget
+
+    def test_ranked_set_leaf_bound(self, golden_run, test_sampling):
+        # At most size x cycles leaves; duplicates merge, so fewer is
+        # legal too.
+        stats = golden_run.methods["ranked_set"].stats
+        assert stats.n_leaves <= (
+            test_sampling.ranked_set_size * test_sampling.ranked_set_cycles
+        )
