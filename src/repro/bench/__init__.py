@@ -28,18 +28,29 @@ from .report import (
     load_report,
 )
 from .runner import CaseResult, run_bench
-from .suite import BENCH_SUITE, DEFAULT_BENCH_SCALE, BenchCase, select_cases
+from .suite import (
+    BENCH_SUITE,
+    BENCH_WORKLOAD,
+    DEFAULT_BENCH_SCALE,
+    BenchCase,
+    bench_workload,
+    select_cases,
+    set_bench_workload,
+)
 
 __all__ = [
     "BENCH_SCHEMA_VERSION",
     "BENCH_SUITE",
+    "BENCH_WORKLOAD",
     "BenchCase",
     "BenchReport",
     "CaseResult",
     "DEFAULT_BENCH_SCALE",
     "DEFAULT_REPORT_NAME",
+    "bench_workload",
     "compare_reports",
     "load_report",
     "run_bench",
     "select_cases",
+    "set_bench_workload",
 ]

@@ -29,20 +29,38 @@ from ..analysis.backend import use_backend
 from ..config import CONFIG_A, DEFAULT_SAMPLING, SamplingConfig
 from ..detailed.timing import TimingSimulator
 from ..engine.functional import FunctionalSimulator
-from ..engine.trace import Trace, TraceBuilder, build_trace
+from ..engine.trace import Trace, TraceBuilder
 from ..errors import HarnessError
 from ..sampling.coasts import Coasts
 from ..sampling.multilevel import MultiLevelSampler
 from ..sampling.ranked_set import RankedSetSampler
 from ..sampling.stratified import StratifiedSampler
-from ..workloads.registry import load_workload
+from ..workloads.registry import load_trace, load_workload
 
 #: Default workload scale for the trace-backed cases (``repro bench
 #: --scale``); small enough for CI, large enough to dominate overheads.
 DEFAULT_BENCH_SCALE = 0.25
 
-#: The benchmark every trace-backed case profiles.
+#: Default benchmark the trace-backed cases profile.
 BENCH_WORKLOAD = "gzip"
+
+_workload = BENCH_WORKLOAD
+
+
+def bench_workload() -> str:
+    """The benchmark the trace-backed cases currently profile."""
+    return _workload
+
+
+def set_bench_workload(name: str) -> None:
+    """Point the trace-backed cases at *name* (``repro bench --benchmark``).
+
+    Accepts any registry-resolvable name — a suite benchmark, a
+    ``fam:<family>[i]`` member or an ``import:<path>`` trace.  Traces are
+    cached per (name, scale), so switching back and forth is cheap.
+    """
+    global _workload
+    _workload = name
 
 
 @dataclass(frozen=True)
@@ -62,9 +80,13 @@ class BenchCase:
     layer: str = "analysis"
 
 
-@lru_cache(maxsize=2)
+@lru_cache(maxsize=4)
+def _cached_trace(name: str, scale: float) -> Trace:
+    return load_trace(name, scale=scale)
+
+
 def _bench_trace(scale: float) -> Trace:
-    return build_trace(load_workload(BENCH_WORKLOAD, scale=scale))
+    return _cached_trace(_workload, scale)
 
 
 def _bench_sampling(trace: Trace) -> SamplingConfig:
@@ -124,9 +146,9 @@ def _setup_two_level(scale: float) -> Trace:
 def _run_two_level(trace: Trace, backend: str) -> None:
     sampling = _bench_sampling(trace)
     with use_backend(backend):
-        coarse = Coasts(sampling).sample(trace, benchmark=BENCH_WORKLOAD)
+        coarse = Coasts(sampling).sample(trace, benchmark=_workload)
         MultiLevelSampler(sampling).sample(
-            trace, benchmark=BENCH_WORKLOAD, coarse_plan=coarse
+            trace, benchmark=_workload, coarse_plan=coarse
         )
 
 
@@ -149,13 +171,13 @@ def _setup_fine_plan(scale: float):
 def _run_stratified(payload, backend: str) -> None:
     sampling, profile = payload
     with use_backend(backend):
-        StratifiedSampler(sampling).sample(profile, benchmark=BENCH_WORKLOAD)
+        StratifiedSampler(sampling).sample(profile, benchmark=_workload)
 
 
 def _run_ranked_set(payload, backend: str) -> None:
     sampling, profile = payload
     with use_backend(backend):
-        RankedSetSampler(sampling).sample(profile, benchmark=BENCH_WORKLOAD)
+        RankedSetSampler(sampling).sample(profile, benchmark=_workload)
 
 
 # ----------------------------------------------------------------------
@@ -179,7 +201,7 @@ def _run_detailed(trace: Trace, backend: str) -> None:
 # manager here).
 
 def _setup_trace_build(scale: float):
-    return load_workload(BENCH_WORKLOAD, scale=scale)
+    return load_workload(_workload, scale=scale)
 
 
 def _run_trace_build(workload, backend: str) -> None:

@@ -37,6 +37,7 @@ from typing import List, Optional
 
 from . import __version__
 from .bench import (
+    BENCH_WORKLOAD,
     DEFAULT_BENCH_SCALE,
     DEFAULT_REPORT_NAME,
     BenchReport,
@@ -44,6 +45,7 @@ from .bench import (
     load_report,
     run_bench,
     select_cases,
+    set_bench_workload,
 )
 from .config import CONFIG_A, CONFIG_B, MachineConfig
 from .errors import (
@@ -52,6 +54,7 @@ from .errors import (
     HarnessError,
     ObservabilityError,
     ReproError,
+    TraceImportError,
 )
 from .obs import (
     ObsContext,
@@ -75,6 +78,7 @@ from .harness import (
     FaultPolicy,
     accuracy_experiment,
     build_leaderboard,
+    campaign_experiment,
     failure_rows,
     format_table,
     granularity_experiment,
@@ -85,10 +89,19 @@ from .harness import (
 )
 from .harness.runner import BOTH_CONFIGS
 from .samplers import registered_methods
-from .workloads import benchmark_names
+from .workloads import benchmark_names, load_trace
+from .workloads import sets as workload_sets
+from .workloads import trace_import as workload_trace_import
 
 #: Experiment names accepted by the ``experiment`` subcommand.
-EXPERIMENTS = ("fig1", "fig3", "fig4", "table2", "table3", "motivation")
+EXPERIMENTS = ("fig1", "fig3", "fig4", "table2", "table3", "motivation",
+               "campaign")
+
+#: Default population of ``repro experiment campaign``: the suite's
+#: phase-heavy benchmarks plus a slice of every seeded family.
+DEFAULT_CAMPAIGN = ("phase-heavy + fam:irregular[0:2] "
+                    "+ fam:phase-heavy[0:2] + fam:input-dependent[0:2] "
+                    "+ fam:multi-regime[0:2] + fam:cache-hostile[0:2]")
 
 #: Exit code when the suite completed but some runs failed (partial
 #: tables were rendered; details went to stderr).
@@ -103,6 +116,7 @@ ERROR_EXIT_CODES = (
     (HarnessError, 2),
     (FaultSpecError, 2),
     (ObservabilityError, 1),
+    (TraceImportError, 1),
     (ReproError, 70),
 )
 
@@ -231,13 +245,40 @@ def _methods_of(args: argparse.Namespace):
     return tuple(methods) if methods else None
 
 
+def _resolve_benchmarks(exprs) -> Optional[List[str]]:
+    """Resolve ``--benchmarks`` set expressions to an ordered name list.
+
+    Multiple expressions union (each parenthesised so operator
+    precedence cannot leak between arguments); ``None``/empty means "no
+    selection" and callers fall back to the suite default.
+    """
+    if not exprs:
+        return None
+    expression = (exprs[0] if len(exprs) == 1
+                  else " + ".join(f"({e})" for e in exprs))
+    return list(workload_sets.resolve(expression))
+
+
+def _resolve_one(expression: str, flag: str) -> str:
+    """Resolve *expression* to exactly one benchmark, or exit 2."""
+    names = workload_sets.resolve(expression)
+    if len(names) != 1:
+        raise HarnessError(
+            f"{flag} needs exactly one benchmark, but {expression!r} "
+            f"resolves to {len(names)}: {', '.join(names[:8])}"
+            f"{', ...' if len(names) > 8 else ''}"
+        )
+    return names[0]
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
+    benchmark = _resolve_one(args.benchmark, "run")
     runner = ExperimentRunner(
         workload_scale=args.scale, methods=_methods_of(args)
     )
     config = _config_of(args.config)
-    run = runner.run_benchmark(args.benchmark, config)
-    print(f"{args.benchmark} on {config.name}: baseline CPI "
+    run = runner.run_benchmark(benchmark, config)
+    print(f"{benchmark} on {config.name}: baseline CPI "
           f"{run.baseline.cpi:.3f}, L1 {run.baseline.l1_hit_rate:.4f}, "
           f"L2 {run.baseline.l2_hit_rate:.4f}")
     # The speedup column divides by SimPoint (the paper's axis) when it
@@ -263,9 +304,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
         rows,
     ))
     _emit_timing(runner, args)
-    _emit_obs(runner, args, config=config, names=[args.benchmark])
+    _emit_obs(runner, args, config=config, names=[benchmark])
     _append_history(
-        runner, args, kind="run", config=config, names=[args.benchmark],
+        runner, args, kind="run", config=config, names=[benchmark],
         runs=[run],
     )
     return 0
@@ -314,9 +355,10 @@ def _report_failures(runner: ExperimentRunner) -> int:
 
 
 def _cmd_suite(args: argparse.Namespace) -> int:
+    names = _resolve_benchmarks(getattr(args, "benchmarks", None))
     runner = _make_runner(args)
     config = _config_of(args.config)
-    outcome = runner.run_suite(config, quick=args.quick,
+    outcome = runner.run_suite(config, names=names, quick=args.quick,
                                progress=args.progress)
     # Columns follow the selected method set: one CPI-deviation column
     # per method, plus speedup-over-SimPoint columns (the paper's Figs
@@ -345,15 +387,15 @@ def _cmd_suite(args: argparse.Namespace) -> int:
         rows,
         title=f"suite summary ({config.name})",
     ))
+    chosen = names if names is not None else \
+        benchmark_names(quick=args.quick)
     _emit_timing(runner, args)
     _emit_obs(
-        runner, args, config=config,
-        names=benchmark_names(quick=args.quick), outcome=outcome,
+        runner, args, config=config, names=chosen, outcome=outcome,
     )
     _append_history(
         runner, args, kind="suite", config=config,
-        names=benchmark_names(quick=args.quick), runs=list(outcome),
-        outcome=outcome,
+        names=chosen, runs=list(outcome), outcome=outcome,
     )
     return _report_failures(runner)
 
@@ -362,7 +404,7 @@ def _cmd_leaderboard(args: argparse.Namespace) -> int:
     """Rank every selected sampler by accuracy × speedup over a suite."""
     runner = _make_runner(args)
     config = _config_of(args.config)
-    names = list(args.benchmarks) if args.benchmarks else \
+    names = _resolve_benchmarks(args.benchmarks) or \
         benchmark_names(quick=args.quick)
     outcome = runner.run_suite(
         config, names=names, quick=args.quick, progress=args.progress
@@ -440,6 +482,24 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             ["benchmark", "phases", "last position"], rows,
             title="III-B motivation statistics",
         ))
+    elif name == "campaign":
+        expression = args.benchmark or DEFAULT_CAMPAIGN
+        result = campaign_experiment(runner, expression,
+                                     progress=args.progress,
+                                     jobs=getattr(args, "jobs", None))
+        rows = []
+        for group in result.groups:
+            for method in group.mean_cpi_deviation:
+                rows.append([
+                    group.group, len(group.benchmarks), method,
+                    f"{100 * group.mean_cpi_deviation[method]:.2f}%",
+                    f"{100 * group.worst_cpi_deviation[method]:.2f}%",
+                ])
+        rows.extend(failure_rows(result.failures, width=5))
+        print(format_table(
+            ["group", "n", "method", "mean CPI dev", "worst CPI dev"],
+            rows, title=f"campaign: {expression}",
+        ))
     elif name == "fig1":
         series = granularity_experiment(runner, args.benchmark or "lucas")
         print(format_table(
@@ -464,6 +524,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         raise HarnessError(f"scale must be > 0, got {args.scale}")
     if args.reps <= 0:
         raise HarnessError(f"reps must be >= 1, got {args.reps}")
+    if getattr(args, "benchmark", None):
+        set_bench_workload(_resolve_one(args.benchmark, "bench --benchmark"))
     cases = select_cases(args.filter)
     if args.list:
         for case in cases:
@@ -532,6 +594,48 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 print(f"  {regression}", file=sys.stderr)
             return EXIT_PARTIAL
         print(f"no perf regressions vs {args.compare}")
+    return 0
+
+
+def _cmd_sets(args: argparse.Namespace) -> int:
+    """List the named workload sets, or resolve a set expression."""
+    if args.expression is None:
+        rows = [[name, summary]
+                for name, summary in workload_sets.describe_sets()]
+        print(format_table(["set", "members"], rows,
+                           title="named workload sets"))
+        return 0
+    for name in workload_sets.resolve(args.expression):
+        print(name)
+    return 0
+
+
+def _cmd_trace_export(args: argparse.Namespace) -> int:
+    """Unroll one benchmark and write its run-length stream to a file."""
+    benchmark = _resolve_one(args.benchmark, "trace export")
+    trace = load_trace(benchmark, scale=args.scale)
+    path = workload_trace_import.export_trace(
+        trace, args.out, benchmark=benchmark, scale=args.scale
+    )
+    print(f"[{benchmark} @ scale {args.scale:g}: "
+          f"{trace.n_segments} segments, "
+          f"{trace.total_instructions} instructions -> {path}]")
+    print(f"run it back with: repro run 'import:{path}'")
+    return 0
+
+
+def _cmd_trace_import(args: argparse.Namespace) -> int:
+    """Validate an external trace file and report its vital signs."""
+    obs = ObsContext()
+    record = workload_trace_import.load_import(
+        args.path, metrics=obs.metrics
+    )
+    n_segments = int(record.arrays["reps"].shape[0])
+    print(f"[valid {record.path}: base {record.benchmark} @ scale "
+          f"{record.scale:g}, {n_segments} segments, "
+          f"{record.total_instructions} instructions, "
+          f"sha256 {record.digest[:16]}]")
+    print(f"benchmark name: import:{args.path}")
     return 0
 
 
@@ -674,7 +778,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "journal; re-attempt failed/missing ones")
 
     run = sub.add_parser("run", help="run one benchmark with all methods")
-    run.add_argument("benchmark", choices=benchmark_names())
+    run.add_argument("benchmark",
+                     help="benchmark name or set expression resolving to "
+                          "exactly one benchmark (suite name, "
+                          "fam:<family>[i], or import:<path>; see "
+                          "`repro sets`)")
     run.add_argument("--config", choices=("a", "b"), default="a")
     add_methods(run)
     add_common(run)
@@ -686,6 +794,12 @@ def build_parser() -> argparse.ArgumentParser:
     suite.add_argument("--progress", action="store_true")
     suite.add_argument("--quick", action="store_true",
                        help="only the quick benchmark subset")
+    suite.add_argument("--benchmarks", nargs="+", metavar="EXPR",
+                       default=None,
+                       help="benchmark set expression(s), e.g. "
+                            "'phase-heavy + fam:irregular[0:4]' "
+                            "(multiple EXPRs union; overrides --quick; "
+                            "see `repro sets`)")
     add_methods(suite)
     add_jobs(suite)
     add_dispatch(suite)
@@ -703,9 +817,10 @@ def build_parser() -> argparse.ArgumentParser:
     leaderboard.add_argument("--progress", action="store_true")
     leaderboard.add_argument("--quick", action="store_true",
                              help="only the quick benchmark subset")
-    leaderboard.add_argument("--benchmarks", nargs="+", metavar="NAME",
-                             choices=benchmark_names(), default=None,
-                             help="only these benchmarks (default: the "
+    leaderboard.add_argument("--benchmarks", nargs="+", metavar="EXPR",
+                             default=None,
+                             help="benchmark set expression(s), e.g. "
+                                  "'cache-hostile - quick' (default: the "
                                   "whole suite, or --quick subset)")
     leaderboard.add_argument("--json", metavar="FILE", default=None,
                              help="also write the ranked tables as JSON "
@@ -723,7 +838,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     experiment.add_argument("name", choices=EXPERIMENTS)
     experiment.add_argument("--benchmark", default=None,
-                            help="benchmark for fig1 (default lucas)")
+                            help="benchmark for fig1 (default lucas); for "
+                                 "campaign, the population set expression")
+    add_methods(experiment)
     experiment.add_argument("--progress", action="store_true")
     add_jobs(experiment)
     add_dispatch(experiment)
@@ -748,6 +865,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "layer name selects that layer)")
     bench.add_argument("--list", action="store_true",
                        help="list the matching cases and exit")
+    bench.add_argument("--benchmark", metavar="EXPR", default=None,
+                       help="workload for the trace-backed cases: any "
+                            "expression resolving to one benchmark "
+                            f"(default: {BENCH_WORKLOAD})")
     # The bench suite has its own scale default: trace-backed cases use
     # a reduced gzip workload so a full run stays interactive.
     bench.add_argument("--scale", type=float, default=DEFAULT_BENCH_SCALE,
@@ -774,6 +895,50 @@ def build_parser() -> argparse.ArgumentParser:
                        help="per-case progress at INFO level")
     add_history(bench)
     bench.set_defaults(func=_cmd_bench)
+
+    sets_cmd = sub.add_parser(
+        "sets",
+        help="list the named workload sets, or resolve a set expression",
+    )
+    sets_cmd.add_argument(
+        "expression", nargs="?", default=None,
+        help="set expression to resolve (one benchmark name per output "
+             "line); omit to list the named sets and families. Grammar: "
+             "names/sets combined with + (union), - (difference, "
+             "whitespace-separated), [a:b] slices and parentheses, e.g. "
+             "'phase-heavy - quick + fam:irregular[0:8]'",
+    )
+    sets_cmd.set_defaults(func=_cmd_sets)
+
+    trace_cmd = sub.add_parser(
+        "trace",
+        help="export a benchmark's run-length stream, or validate an "
+             "external one for use as import:<path>",
+    )
+    trace_sub = trace_cmd.add_subparsers(dest="trace_command",
+                                         required=True)
+    texport = trace_sub.add_parser(
+        "export",
+        help="unroll one benchmark and write its segment stream "
+             "(.jsonl or .npz)",
+    )
+    texport.add_argument("benchmark",
+                         help="benchmark name or single-benchmark "
+                              "expression")
+    texport.add_argument("--out", metavar="FILE", required=True,
+                         help="output file; .jsonl (line-per-segment) or "
+                              ".npz (flat arrays)")
+    texport.add_argument("--scale", type=float, default=argparse.SUPPRESS,
+                         help="workload scale to unroll at "
+                              "(default: 1.0)")
+    texport.set_defaults(func=_cmd_trace_export)
+    timport = trace_sub.add_parser(
+        "import",
+        help="validate an external trace file; invalid files are "
+             "rejected with exit 1",
+    )
+    timport.add_argument("path", help="trace file (.jsonl or .npz)")
+    timport.set_defaults(func=_cmd_trace_import)
 
     obs = sub.add_parser("obs", help="inspect observability artefacts")
     obs_sub = obs.add_subparsers(dest="obs_command", required=True)

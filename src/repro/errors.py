@@ -24,6 +24,11 @@ class TraceError(ReproError):
     """The dynamic trace is inconsistent with the static program."""
 
 
+class TraceImportError(ReproError):
+    """An external trace file is malformed or inconsistent with the base
+    workload it claims to have been exported from."""
+
+
 class ClusteringError(ReproError):
     """Phase clustering could not be performed (bad k, empty data, ...)."""
 

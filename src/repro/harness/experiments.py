@@ -268,6 +268,88 @@ def motivation_experiment(
 
 
 # ----------------------------------------------------------------------
+# Family campaigns: accuracy aggregated per population group
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CampaignGroup:
+    """Per-method CPI-deviation aggregates over one population group.
+
+    A group is one seeded family (``fam:<name>``) or the hand-written
+    suite benchmarks the expression pulled in (``suite``).  Deviations
+    are absolute relative CPI errors, so methods are comparable across
+    groups whose baselines differ wildly.
+    """
+
+    group: str
+    benchmarks: Tuple[str, ...]
+    mean_cpi_deviation: Dict[str, float]
+    worst_cpi_deviation: Dict[str, float]
+
+
+@dataclass(frozen=True)
+class CampaignResult:
+    """A set-expression campaign: every run, grouped for reporting."""
+
+    expression: str
+    names: Tuple[str, ...]
+    groups: Tuple[CampaignGroup, ...]
+    runs: Tuple[BenchmarkRun, ...]
+    failures: Tuple[RunFailure, ...] = ()
+
+
+def campaign_experiment(
+    runner: ExperimentRunner,
+    expression: str,
+    config: MachineConfig = CONFIG_A,
+    progress: bool = False,
+    jobs: Optional[int] = None,
+) -> CampaignResult:
+    """Run the population a set expression selects; aggregate per group.
+
+    This is the scale companion of :func:`accuracy_experiment`: instead
+    of the 16 hand-written benchmarks it takes an arbitrary expression
+    (``'phase-heavy + fam:irregular[0:32]'``) and reports how each
+    sampling method degrades along each family's stress axis.  Family
+    members group under ``fam:<family>``; suite benchmarks under
+    ``suite``.  Groups preserve first-appearance order of the resolved
+    names, so reports are stable across runs.
+    """
+    from ..workloads import families
+    from ..workloads.sets import resolve
+
+    names = resolve(expression)
+    outcome = runner.run_suite(config, names=list(names),
+                               progress=progress, jobs=jobs)
+    grouped: Dict[str, List[BenchmarkRun]] = {}
+    for run in outcome:
+        member = families.parse_member_name(run.benchmark)
+        key = f"fam:{member[0]}" if member else "suite"
+        grouped.setdefault(key, []).append(run)
+    groups = []
+    for key, runs in grouped.items():
+        methods = [m for m in runner.methods if m in runs[0].methods]
+        deviations = {
+            m: [abs(r.methods[m].deviation.cpi) for r in runs]
+            for m in methods
+        }
+        groups.append(CampaignGroup(
+            group=key,
+            benchmarks=tuple(r.benchmark for r in runs),
+            mean_cpi_deviation={
+                m: arithmetic_mean(v) for m, v in deviations.items()
+            },
+            worst_cpi_deviation={m: max(v) for m, v in deviations.items()},
+        ))
+    return CampaignResult(
+        expression=expression,
+        names=tuple(names),
+        groups=tuple(groups),
+        runs=tuple(outcome),
+        failures=outcome.failures,
+    )
+
+
+# ----------------------------------------------------------------------
 # Figure 1: granularity study
 # ----------------------------------------------------------------------
 def _roughness(values: np.ndarray) -> float:

@@ -48,7 +48,7 @@ from ..sampling.estimate import (
     simulate_tagged_ranges,
 )
 from ..sampling.points import SamplingPlan
-from ..workloads.registry import benchmark_names, load_workload
+from ..workloads.registry import benchmark_names, load_trace
 from .cache import ResultCache
 from .faults import corrupt_cache_entry
 from .recovery import (
@@ -288,10 +288,18 @@ class ExperimentRunner:
 
     # ------------------------------------------------------------------
     def trace(self, benchmark: str) -> Trace:
-        """The (memoised) trace of *benchmark*."""
+        """The (memoised) trace of *benchmark*.
+
+        Suite and family benchmarks unroll at the runner's workload
+        scale; ``import:`` benchmarks return their validated external
+        arrays at the scale they were exported at (see
+        :mod:`repro.workloads.trace_import`).
+        """
         if benchmark not in self._traces:
-            workload = load_workload(benchmark, scale=self.workload_scale)
-            self._traces[benchmark] = build_trace(workload)
+            self._traces[benchmark] = load_trace(
+                benchmark, scale=self.workload_scale,
+                metrics=self.obs.metrics,
+            )
         return self._traces[benchmark]
 
     def adopt_trace(self, benchmark: str, trace: Trace) -> None:
@@ -580,6 +588,10 @@ class ExperimentRunner:
     ) -> SuiteOutcome:
         """Run every benchmark (or *names*) under *config*.
 
+        *names* is a list of benchmark names, or a single string treated
+        as a set expression (``'phase-heavy + fam:irregular[0:4]'``)
+        resolved through :func:`repro.workloads.sets.resolve`.
+
         With ``jobs > 1`` the per-benchmark pipelines fan out over worker
         processes (see :mod:`repro.harness.parallel`); results are
         identical to the serial path and arrive in suite order.  ``jobs``
@@ -604,7 +616,16 @@ class ExperimentRunner:
         journaled by an identical earlier invocation are skipped and
         only failed or missing ones execute.
         """
-        chosen = list(names) if names is not None else benchmark_names(quick=quick)
+        if names is None:
+            chosen = benchmark_names(quick=quick)
+        elif isinstance(names, str):
+            # A set expression ('phase-heavy + fam:irregular[0:4]'), see
+            # repro.workloads.sets for the grammar.
+            from ..workloads.sets import resolve
+
+            chosen = list(resolve(names))
+        else:
+            chosen = list(names)
         jobs = self.jobs if jobs is None else jobs
         pool = self.pool if pool is None else pool
         policy = policy if policy is not None else self.policy

@@ -58,6 +58,7 @@ DISPATCH_STEALS = "repro_dispatch_steals_total"
 DISPATCH_STALE_COMMITS = "repro_dispatch_stale_commits_total"
 DISPATCH_LEASE_SECONDS = "repro_dispatch_lease_seconds"
 JOURNAL_TORN = "repro_journal_torn_total"
+TRACE_IMPORT_REJECTED = "repro_trace_import_rejected_total"
 RETRY_BACKOFF_SECONDS = "repro_retry_backoff_seconds"
 
 #: Default histogram bucket upper bounds (seconds) — spans pipeline

@@ -1,11 +1,12 @@
 """Synthetic SPEC2000-like workload suite."""
 
-from . import schedule
+from . import families, schedule, sets, trace_import
 from .generator import InnerLayout, RegimeLayout, Workload, generate_workload
 from .registry import (
     benchmark_names,
     clear_cache,
     get_spec,
+    load_trace,
     load_workload,
 )
 from .spec import (
@@ -33,9 +34,13 @@ __all__ = [
     "benchmark_names",
     "build_suite",
     "clear_cache",
+    "families",
     "generate_workload",
     "get_spec",
+    "load_trace",
     "load_workload",
     "scaled_spec",
     "schedule",
+    "sets",
+    "trace_import",
 ]

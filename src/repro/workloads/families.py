@@ -1,0 +1,417 @@
+"""Seeded program families: parameterized distributions over BenchmarkSpec.
+
+A *family* is a deterministic generator of benchmark variants along one
+sampler-sensitive axis (irregular phase lengths, phase counts well above
+Kmax, input-dependent control flow, multi-regime memory behaviour, large
+hostile working sets).  Member ``i`` of family ``f`` is the benchmark
+named ``fam:f[i]`` — the name alone fully determines the spec, the
+program and the trace, so dispatcher workers (which resolve benchmarks
+by name in their own process) and result caches need no side channel.
+
+Determinism contract, pinned by tests/test_families.py:
+
+* ``member_spec(f, i)`` is byte-identical across processes and runs —
+  every random draw comes from a ``SeedSequence`` over
+  ``(FAMILY_SEED_ROOT, crc32(f), i)``;
+* distinct indices give distinct programs;
+* the member index space is unbounded (``fam:irregular[100:200]`` is
+  valid), which is what scales 16 fixed programs to campaign-size
+  populations.
+"""
+
+from __future__ import annotations
+
+import re
+import zlib
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import HarnessError
+from . import schedule as sched
+from .spec import BenchmarkSpec, RegimeSpec
+from .suite import (
+    KB,
+    MB,
+    _FP_MIX,
+    _FP_STREAM,
+    _INT_BRANCHY,
+    _INT_MIX,
+    _MEM_MIX,
+    _loop,
+)
+
+#: Prefix of all family benchmark names.
+FAMILY_PREFIX = "fam:"
+
+#: Root entropy of every family member; bump to re-roll all families.
+FAMILY_SEED_ROOT = 0x5EED_2013
+
+#: ``irregular`` members guarantee at least this CV of phase run lengths.
+IRREGULAR_CV_FLOOR = 1.0
+
+#: ``multi-regime`` members spread their working sets at least this much.
+MULTI_REGIME_WS_SPREAD = 16
+
+#: ``cache-hostile`` members use working sets of at least this size.
+CACHE_HOSTILE_MIN_WS = 1 * MB
+
+_MEMBER_RE = re.compile(r"^fam:([A-Za-z0-9_.-]+)\[(\d+)\]$")
+
+
+@dataclass(frozen=True)
+class Family:
+    """One program family and the axis its members stress."""
+
+    name: str
+    description: str
+    #: The behavioural axis the family sweeps, human-readable.
+    axis: str
+    #: Members materialised by a bare ``fam:<name>`` (slice for more).
+    default_count: int
+    #: ``build(index, rng) -> BenchmarkSpec`` — must draw all randomness
+    #: from ``rng`` and must not read any other mutable state.
+    build: Callable[[int, np.random.Generator], "BenchmarkSpec"]
+
+
+def member_name(family: str, index: int) -> str:
+    """The canonical benchmark name of member *index* of *family*."""
+    return f"{FAMILY_PREFIX}{family}[{index}]"
+
+
+def parse_member_name(text: str) -> Optional[Tuple[str, int]]:
+    """``(family, index)`` when *text* is a member name, else ``None``."""
+    match = _MEMBER_RE.match(text)
+    if match is None:
+        return None
+    return match.group(1), int(match.group(2))
+
+
+def member_rng(family: str, index: int) -> np.random.Generator:
+    """The member's private generator; the sole source of randomness."""
+    entropy = (FAMILY_SEED_ROOT, zlib.crc32(family.encode("utf-8")), index)
+    return np.random.default_rng(np.random.SeedSequence(entropy))
+
+
+# ----------------------------------------------------------------------
+# Schedule statistics (used by builders and by the property battery)
+# ----------------------------------------------------------------------
+def run_lengths(schedule: Tuple[int, ...]) -> Tuple[int, ...]:
+    """Lengths of the maximal same-regime runs of *schedule*."""
+    lengths: List[int] = []
+    previous: Optional[int] = None
+    for regime in schedule:
+        if regime == previous:
+            lengths[-1] += 1
+        else:
+            lengths.append(1)
+            previous = regime
+    return tuple(lengths)
+
+
+def run_length_cv(schedule: Tuple[int, ...]) -> float:
+    """Coefficient of variation of the phase run lengths."""
+    lengths = np.asarray(run_lengths(schedule), dtype=float)
+    if lengths.size < 2:
+        return 0.0
+    mean = lengths.mean()
+    return float(lengths.std() / mean) if mean > 0 else 0.0
+
+
+# ----------------------------------------------------------------------
+# Shared builder helpers
+# ----------------------------------------------------------------------
+_MIXES = (_INT_MIX, _INT_BRANCHY, _FP_MIX, _FP_STREAM, _MEM_MIX)
+
+
+def _draw(rng: np.random.Generator, low: int, high: int) -> int:
+    """A draw from [low, high] inclusive."""
+    return int(rng.integers(low, high + 1))
+
+
+def _basic_regime(
+    tag: int,
+    rng: np.random.Generator,
+    ws_choices: Tuple[int, ...],
+    branch_lo: float = 0.86,
+    branch_hi: float = 0.96,
+    jitter: float = 0.10,
+) -> RegimeSpec:
+    """A two-loop regime with knobs drawn from *rng*."""
+    loops = []
+    for which in ("a", "b"):
+        ws = int(ws_choices[_draw(rng, 0, len(ws_choices) - 1)])
+        loops.append(_loop(
+            f"r{tag}{which}",
+            ws,
+            _MIXES[_draw(rng, 0, len(_MIXES) - 1)],
+            stride=int(2 ** _draw(rng, 3, 6)),
+            branch_bias=branch_lo + (branch_hi - branch_lo) * float(rng.random()),
+            visits=_draw(rng, 2, 3),
+            body_blocks=_draw(rng, 1, 2),
+            jitter=jitter,
+        ))
+    return RegimeSpec(name=f"regime{tag}", loops=tuple(loops))
+
+
+_MODEST_WS = (8 * KB, 16 * KB, 32 * KB, 64 * KB, 128 * KB)
+
+
+# ----------------------------------------------------------------------
+# Family builders
+# ----------------------------------------------------------------------
+def _build_irregular(index: int, rng: np.random.Generator) -> BenchmarkSpec:
+    """Lognormal phase run lengths with a guaranteed CV floor.
+
+    Uniform-run schedules (cyclic, staggered) have run-length CV ~0;
+    samplers that assume steady phase durations go wrong exactly when
+    the CV is high, so the floor is enforced deterministically: keep
+    doubling the longest run until the CV clears IRREGULAR_CV_FLOOR.
+    """
+    n_regimes = _draw(rng, 3, 4)
+    n_runs = _draw(rng, 18, 30)
+    lengths = np.maximum(
+        1, np.round(rng.lognormal(mean=1.1, sigma=1.2, size=n_runs))
+    ).astype(int)
+    lengths = np.minimum(lengths, 60)
+    guard = 0
+    while run_length_cv(_expand(lengths, n_regimes)) < IRREGULAR_CV_FLOOR \
+            and guard < 16:
+        lengths[int(np.argmax(lengths))] *= 2
+        guard += 1
+    schedule = _expand(lengths, n_regimes)
+    regimes = tuple(
+        _basic_regime(r, rng, _MODEST_WS) for r in range(n_regimes)
+    )
+    return BenchmarkSpec(
+        name=member_name("irregular", index),
+        seed=_draw(rng, 1, 2**31 - 2),
+        regimes=regimes,
+        schedule=schedule,
+        description=f"irregular member {index}: lognormal phase run lengths",
+    )
+
+
+def _expand(lengths: np.ndarray, n_regimes: int) -> Tuple[int, ...]:
+    """Turn run lengths into a schedule, rotating regimes run by run.
+
+    Rotation (not random choice) guarantees no same-regime merge between
+    adjacent runs — the run-length structure *is* the lengths array —
+    and that every regime appears once n_runs >= n_regimes.
+    """
+    schedule: List[int] = []
+    for run, length in enumerate(lengths):
+        schedule.extend([run % n_regimes] * int(length))
+    return tuple(schedule)
+
+
+def _build_phase_heavy(index: int, rng: np.random.Generator) -> BenchmarkSpec:
+    """Regime counts far above the coarse clustering Kmax (= 3).
+
+    The member index drives the regime count (6..12) so the axis sweep
+    is structural, not just a reroll: fam:phase-heavy[0:7] covers every
+    count once.
+    """
+    n_regimes = 6 + index % 7
+    gap = _draw(rng, 4, 7)
+    n_iterations = 180 + 12 * n_regimes
+    intros = tuple(r * gap for r in range(n_regimes))
+    regimes = tuple(
+        _basic_regime(r, rng, _MODEST_WS) for r in range(n_regimes)
+    )
+    return BenchmarkSpec(
+        name=member_name("phase-heavy", index),
+        seed=_draw(rng, 1, 2**31 - 2),
+        regimes=regimes,
+        schedule=sched.staggered(n_regimes, n_iterations, intros=intros),
+        description=(
+            f"phase-heavy member {index}: {n_regimes} regimes, Kmax-busting"
+        ),
+    )
+
+
+def _build_input_dependent(
+    index: int, rng: np.random.Generator
+) -> BenchmarkSpec:
+    """Data-dependent control flow: low branch bias, sticky Markov phases.
+
+    Branch biases are drawn from [0.62, 0.85] — far below the suite's
+    ~0.9 norm — and the phase walk is a Markov chain, so both the
+    fine-grained BBVs and the phase sequence are input-shaped.
+    """
+    n_regimes = _draw(rng, 2, 4)
+    stay = 0.55 + 0.25 * float(rng.random())
+    markov_seed = _draw(rng, 0, 2**31 - 2)
+    regimes = tuple(
+        _basic_regime(
+            r, rng, _MODEST_WS,
+            branch_lo=0.62, branch_hi=0.85, jitter=0.25,
+        )
+        for r in range(n_regimes)
+    )
+    return BenchmarkSpec(
+        name=member_name("input-dependent", index),
+        seed=_draw(rng, 1, 2**31 - 2),
+        regimes=regimes,
+        schedule=sched.markov(
+            n_regimes, _draw(rng, 160, 260),
+            stay_probability=stay, seed=markov_seed,
+        ),
+        description=(
+            f"input-dependent member {index}: branchy loops, Markov phases"
+        ),
+    )
+
+
+def _build_multi_regime(index: int, rng: np.random.Generator) -> BenchmarkSpec:
+    """Working sets log-spread across >= MULTI_REGIME_WS_SPREAD x.
+
+    Each regime owns a different rung of the memory hierarchy (L1-fit
+    through L2-busting) with its own stride, so per-phase cache
+    behaviour differs by construction — the axis "Memory Access
+    Vectors" identifies as what sampling must preserve.
+    """
+    n_regimes = 3 + index % 3
+    base_ws = int((8 * KB) * 2 ** _draw(rng, 0, 2))
+    spread = MULTI_REGIME_WS_SPREAD ** (1.0 / (n_regimes - 1))
+    regimes = []
+    for r in range(n_regimes):
+        ws = int(round(base_ws * spread**r))
+        stride = int(2 ** (3 + r % 4))
+        regimes.append(RegimeSpec(
+            name=f"regime{r}",
+            loops=(
+                _loop(f"r{r}a", ws, _MEM_MIX, stride=stride,
+                      branch_bias=0.88 + 0.06 * float(rng.random()),
+                      visits=2, body_blocks=2),
+                _loop(f"r{r}b", max(4 * KB, ws // 4),
+                      _MIXES[_draw(rng, 0, len(_MIXES) - 1)],
+                      stride=stride, branch_bias=0.90, visits=2),
+            ),
+        ))
+    n_iterations = _draw(rng, 160, 240)
+    gap = _draw(rng, 5, 9)
+    return BenchmarkSpec(
+        name=member_name("multi-regime", index),
+        seed=_draw(rng, 1, 2**31 - 2),
+        regimes=tuple(regimes),
+        schedule=sched.staggered(
+            n_regimes, n_iterations,
+            intros=tuple(r * gap for r in range(n_regimes)),
+        ),
+        description=(
+            f"multi-regime member {index}: {n_regimes} working-set rungs"
+        ),
+    )
+
+
+def _build_cache_hostile(
+    index: int, rng: np.random.Generator
+) -> BenchmarkSpec:
+    """Every regime sweeps >= CACHE_HOSTILE_MIN_WS with large strides."""
+    n_regimes = _draw(rng, 2, 3)
+    regimes = []
+    for r in range(n_regimes):
+        ws = int(CACHE_HOSTILE_MIN_WS * 2 ** _draw(rng, 0, 2))
+        regimes.append(RegimeSpec(
+            name=f"regime{r}",
+            loops=(
+                _loop(f"r{r}a", ws, _MEM_MIX,
+                      stride=int(64 * 2 ** _draw(rng, 0, 1)),
+                      branch_bias=0.87 + 0.05 * float(rng.random()),
+                      visits=2, sweeps=1.2),
+                _loop(f"r{r}b", max(CACHE_HOSTILE_MIN_WS, ws // 2),
+                      _FP_STREAM, stride=64, branch_bias=0.95, visits=1,
+                      sweeps=1.2),
+            ),
+        ))
+    return BenchmarkSpec(
+        name=member_name("cache-hostile", index),
+        seed=_draw(rng, 1, 2**31 - 2),
+        regimes=tuple(regimes),
+        schedule=sched.blocked(n_regimes, _draw(rng, 100, 140)),
+        description=(
+            f"cache-hostile member {index}: multi-MB sweeps, wide strides"
+        ),
+    )
+
+
+_FAMILIES: Dict[str, Family] = {
+    family.name: family
+    for family in (
+        Family(
+            name="irregular",
+            description="lognormal phase run lengths (high CV)",
+            axis="phase-length irregularity",
+            default_count=16,
+            build=_build_irregular,
+        ),
+        Family(
+            name="phase-heavy",
+            description="6-12 regimes, far above the coarse Kmax",
+            axis="phase count vs Kmax",
+            default_count=16,
+            build=_build_phase_heavy,
+        ),
+        Family(
+            name="input-dependent",
+            description="low branch bias + Markov phase walks",
+            axis="input-dependent control flow",
+            default_count=16,
+            build=_build_input_dependent,
+        ),
+        Family(
+            name="multi-regime",
+            description="working sets log-spread across >= 16x",
+            axis="multi-regime memory behaviour",
+            default_count=16,
+            build=_build_multi_regime,
+        ),
+        Family(
+            name="cache-hostile",
+            description="every phase sweeps multi-MB working sets",
+            axis="cache hostility",
+            default_count=16,
+            build=_build_cache_hostile,
+        ),
+    )
+}
+
+
+def family_names() -> Tuple[str, ...]:
+    """Registered family names, in registration order."""
+    return tuple(_FAMILIES)
+
+
+def get_family(name: str) -> Family:
+    """The family called *name*, or a HarnessError naming the known ones."""
+    try:
+        return _FAMILIES[name]
+    except KeyError:
+        raise HarnessError(
+            f"unknown benchmark family {name!r} "
+            f"(known: {', '.join(_FAMILIES)})"
+        ) from None
+
+
+@lru_cache(maxsize=1024)
+def member_spec(family: str, index: int) -> BenchmarkSpec:
+    """The deterministic BenchmarkSpec of member *index* of *family*."""
+    spec_family = get_family(family)
+    if index < 0:
+        raise HarnessError(
+            f"family member index must be >= 0, got {index}"
+        )
+    spec = spec_family.build(index, member_rng(family, index))
+    assert spec.name == member_name(family, index)
+    return spec
+
+
+def spec_for(name: str) -> Optional[BenchmarkSpec]:
+    """The spec when *name* is a ``fam:f[i]`` member name, else ``None``."""
+    member = parse_member_name(name)
+    if member is None:
+        return None
+    return member_spec(*member)

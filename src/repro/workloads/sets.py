@@ -1,0 +1,386 @@
+"""Named benchmark sets and the CLI set-expression language.
+
+Campaigns address benchmark populations the way SPEC harnesses address
+their targets: by *named sets* combined with a tiny expression language
+instead of exhaustive name lists.  The grammar (also in the README)::
+
+    expr   := term (("+" | "-") term)*      left-associative
+    term   := atom [ "[" slice "]" ]
+    atom   := "(" expr ")" | NAME
+    slice  := [INT] ":" [INT] | INT         half-open, non-negative
+
+``+`` is order-preserving union (first occurrence wins), ``-`` removes
+every occurrence of the right side from the left.  A ``NAME`` is a named
+set (``all``, ``int``, ``phase-heavy``, ...), a suite benchmark
+(``gzip``), a generated family (``fam:irregular``, sliced by member
+index), a single family member (``fam:irregular[3]``) or an imported
+trace (``import:<path>``).  Because several set names contain ``-``, the
+difference operator must be surrounded by whitespace; ``+`` needs none.
+
+Everything user-facing raises :class:`~repro.errors.HarnessError` (the
+CLI's usage-error exit code 2) with a message naming what *is* known.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..errors import HarnessError
+from . import families
+from .suite import QUICK_SUITE_NAMES, SUITE_NAMES, build_suite
+
+#: Prefix of imported-trace benchmark names (see ``trace_import``).
+IMPORT_PREFIX = "import:"
+
+#: SPEC2000 integer / floating-point membership of the synthetic suite
+#: (the named ``int`` / ``fp`` sets mirror the real CINT/CFP split).
+INT_NAMES: Tuple[str, ...] = (
+    "gzip", "vpr", "gcc", "mcf", "crafty", "parser", "vortex", "bzip2",
+    "twolf",
+)
+FP_NAMES: Tuple[str, ...] = (
+    "swim", "applu", "mesa", "art", "equake", "lucas", "fma3d",
+)
+
+#: Working sets at least this large mark a benchmark ``cache-hostile``.
+CACHE_HOSTILE_WS = 1024 * 1024
+
+#: At least this many regimes marks a benchmark ``phase-heavy``.
+PHASE_HEAVY_REGIMES = 4
+
+_NAMED_SETS: Optional[Dict[str, Tuple[str, ...]]] = None
+
+
+def named_sets() -> Dict[str, Tuple[str, ...]]:
+    """The named sets, each an ordered tuple of suite benchmark names.
+
+    ``int`` / ``fp`` follow the SPEC2000 split; ``phase-heavy`` and
+    ``cache-hostile`` are *derived* from the specs (regime count and
+    largest working set), so re-tuning the suite re-derives them.
+    """
+    global _NAMED_SETS
+    if _NAMED_SETS is None:
+        specs = build_suite()
+        phase_heavy = tuple(
+            name for name in SUITE_NAMES
+            if len(specs[name].regimes) >= PHASE_HEAVY_REGIMES
+        )
+        cache_hostile = tuple(
+            name for name in SUITE_NAMES
+            if max(
+                loop.working_set
+                for regime in specs[name].regimes for loop in regime.loops
+            ) >= CACHE_HOSTILE_WS
+        )
+        _NAMED_SETS = {
+            "all": SUITE_NAMES,
+            "quick": QUICK_SUITE_NAMES,
+            "int": INT_NAMES,
+            "fp": FP_NAMES,
+            "phase-heavy": phase_heavy,
+            "cache-hostile": cache_hostile,
+        }
+    return _NAMED_SETS
+
+
+# ----------------------------------------------------------------------
+# AST
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Name:
+    """A leaf: named set, benchmark, family, family member or import."""
+
+    text: str
+
+
+@dataclass(frozen=True)
+class Slice:
+    """``base[start:stop]`` — member indices for a bare family, a list
+    slice for anything else."""
+
+    base: "Expr"
+    start: Optional[int]
+    stop: Optional[int]
+
+
+@dataclass(frozen=True)
+class Binary:
+    """``left + right`` (union) or ``left - right`` (difference)."""
+
+    op: str
+    left: "Expr"
+    right: "Expr"
+
+
+Expr = Union[Name, Slice, Binary]
+
+
+def format_expr(expr: Expr) -> str:
+    """The canonical text of *expr*; ``parse(format_expr(e)) == e``."""
+    if isinstance(expr, Name):
+        return expr.text
+    if isinstance(expr, Slice):
+        base = format_expr(expr.base)
+        if isinstance(expr.base, Binary):
+            base = f"({base})"
+        start = "" if expr.start is None else str(expr.start)
+        stop = "" if expr.stop is None else str(expr.stop)
+        return f"{base}[{start}:{stop}]"
+    left = format_expr(expr.left)
+    right = format_expr(expr.right)
+    if isinstance(expr.right, Binary):
+        right = f"({right})"
+    return f"{left} {expr.op} {right}"
+
+
+# ----------------------------------------------------------------------
+# Tokenizer + parser
+# ----------------------------------------------------------------------
+#: Characters a NAME token may contain (``-`` handled contextually).
+_NAME_CHARS = re.compile(r"[A-Za-z0-9_.:/@]")
+
+_SLICE_RANGE = re.compile(r"^(\d*):(\d*)$")
+_SLICE_INDEX = re.compile(r"^(\d+)$")
+
+
+def _tokenize(text: str) -> List[str]:
+    """Split *text* into NAME, operator and bracket tokens.
+
+    ``-`` continues a NAME when glued between two name characters
+    (``phase-heavy``); standalone it is the difference operator.
+    """
+    tokens: List[str] = []
+    current = ""
+    i = 0
+    while i < len(text):
+        char = text[i]
+        if _NAME_CHARS.match(char):
+            current += char
+        elif char == "-" and current and i + 1 < len(text) \
+                and _NAME_CHARS.match(text[i + 1]):
+            current += char
+        elif char in "+-[]():" or char.isspace():
+            if current:
+                tokens.append(current)
+                current = ""
+            if char == ":":
+                tokens.append(char)
+            elif not char.isspace():
+                tokens.append(char)
+        else:
+            raise HarnessError(
+                f"benchmark expression {text!r}: "
+                f"unexpected character {char!r} at position {i}"
+            )
+        i += 1
+    if current:
+        tokens.append(current)
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser over the token list."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.pos = 0
+
+    def peek(self) -> Optional[str]:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def take(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise HarnessError(
+                f"benchmark expression {self.text!r}: unexpected end"
+            )
+        self.pos += 1
+        return token
+
+    def fail(self, why: str) -> HarnessError:
+        return HarnessError(f"benchmark expression {self.text!r}: {why}")
+
+    # expr := term (("+" | "-") term)*
+    def parse(self) -> Expr:
+        if not self.tokens:
+            raise self.fail("empty expression")
+        expr = self.term()
+        while self.peek() in ("+", "-"):
+            op = self.take()
+            expr = Binary(op=op, left=expr, right=self.term())
+        if self.peek() is not None:
+            raise self.fail(f"unexpected token {self.peek()!r}")
+        return expr
+
+    # term := atom [ "[" slice "]" ]
+    def term(self) -> Expr:
+        expr = self.atom()
+        while self.peek() == "[":
+            self.take()
+            expr = self.slice_of(expr)
+        return expr
+
+    def atom(self) -> Expr:
+        token = self.take()
+        if token == "(":
+            expr = self.term_group()
+            return expr
+        if token in ("+", "-", ")", "[", "]", ":"):
+            raise self.fail(f"expected a name, got {token!r}")
+        return Name(token)
+
+    def term_group(self) -> Expr:
+        expr = self.term()
+        while self.peek() in ("+", "-"):
+            op = self.take()
+            expr = Binary(op=op, left=expr, right=self.term())
+        if self.take() != ")":
+            raise self.fail("unbalanced '('")
+        return expr
+
+    def slice_of(self, base: Expr) -> Slice:
+        inner = ""
+        while True:
+            token = self.peek()
+            if token is None:
+                raise self.fail("unclosed '['")
+            self.take()
+            if token == "]":
+                break
+            inner += token
+        match = _SLICE_RANGE.match(inner)
+        if match:
+            start = int(match.group(1)) if match.group(1) else None
+            stop = int(match.group(2)) if match.group(2) else None
+            if start is not None and stop is not None and start > stop:
+                raise self.fail(
+                    f"slice [{inner}] has start > stop"
+                )
+            return Slice(base=base, start=start, stop=stop)
+        match = _SLICE_INDEX.match(inner)
+        if match:
+            index = int(match.group(1))
+            return Slice(base=base, start=index, stop=index + 1)
+        raise self.fail(
+            f"malformed slice [{inner}] (expected [start:stop] or [index] "
+            "with non-negative integers)"
+        )
+
+
+def parse(text: str) -> Expr:
+    """Parse a benchmark set expression into its AST."""
+    if not isinstance(text, str) or not text.strip():
+        raise HarnessError("empty benchmark expression")
+    return _Parser(text).parse()
+
+
+# ----------------------------------------------------------------------
+# Resolution
+# ----------------------------------------------------------------------
+def _known_names_hint() -> str:
+    sets = ", ".join(named_sets())
+    fams = ", ".join(f"fam:{name}" for name in families.family_names())
+    return (
+        f"named sets: {sets}; families: {fams}; benchmarks: "
+        f"{', '.join(SUITE_NAMES)}; or import:<path>"
+    )
+
+
+def _resolve_name(name: Name) -> List[str]:
+    text = name.text
+    sets = named_sets()
+    if text in sets:
+        return list(sets[text])
+    if text in SUITE_NAMES:
+        return [text]
+    member = families.parse_member_name(text)
+    if member is not None:
+        family, index = member
+        families.get_family(family)  # raises on unknown family
+        return [families.member_name(family, index)]
+    if text.startswith(families.FAMILY_PREFIX):
+        family = families.get_family(text[len(families.FAMILY_PREFIX):])
+        return [
+            families.member_name(family.name, i)
+            for i in range(family.default_count)
+        ]
+    if text.startswith(IMPORT_PREFIX):
+        path = text[len(IMPORT_PREFIX):]
+        if not path:
+            raise HarnessError("import: needs a trace file path")
+        return [text]
+    raise HarnessError(
+        f"unknown benchmark or set {text!r} ({_known_names_hint()})"
+    )
+
+
+def _is_bare_family(expr: Expr) -> Optional[str]:
+    """The family name when *expr* is a bare ``fam:<family>`` leaf."""
+    if isinstance(expr, Name) and expr.text.startswith(families.FAMILY_PREFIX):
+        rest = expr.text[len(families.FAMILY_PREFIX):]
+        if families.parse_member_name(expr.text) is None and rest:
+            return rest
+    return None
+
+
+def _resolve(expr: Expr) -> List[str]:
+    if isinstance(expr, Name):
+        return _resolve_name(expr)
+    if isinstance(expr, Slice):
+        family = _is_bare_family(expr.base)
+        if family is not None:
+            # Member-index slice over the (unbounded) family index space:
+            # fam:irregular[16:32] is valid beyond the default count.
+            spec = families.get_family(family)
+            start = expr.start if expr.start is not None else 0
+            stop = expr.stop if expr.stop is not None else spec.default_count
+            return [
+                families.member_name(spec.name, i) for i in range(start, stop)
+            ]
+        return _resolve(expr.base)[expr.start:expr.stop]
+    left = _resolve(expr.left)
+    right = _resolve(expr.right)
+    if expr.op == "+":
+        merged = list(left)
+        seen = set(left)
+        for name in right:
+            if name not in seen:
+                merged.append(name)
+                seen.add(name)
+        return merged
+    removed = set(right)
+    return [name for name in left if name not in removed]
+
+
+def resolve(expression: Union[str, Expr]) -> Tuple[str, ...]:
+    """Resolve *expression* to an ordered, duplicate-free benchmark tuple.
+
+    An expression that resolves to nothing is a usage error: silently
+    running a 0-benchmark campaign would look like success.
+    """
+    expr = parse(expression) if isinstance(expression, str) else expression
+    names = _resolve(expr)
+    if not names:
+        raise HarnessError(
+            f"benchmark expression {format_expr(expr)!r} resolves to no "
+            "benchmarks"
+        )
+    return tuple(names)
+
+
+def describe_sets() -> List[Tuple[str, str]]:
+    """(name, summary) rows for every named set and family (CLI listing)."""
+    rows = [
+        (name, ", ".join(members)) for name, members in named_sets().items()
+    ]
+    for name in families.family_names():
+        family = families.get_family(name)
+        rows.append((
+            f"fam:{name}",
+            f"{family.description} (axis: {family.axis}; default "
+            f"{family.default_count} members, slice for more)",
+        ))
+    return rows

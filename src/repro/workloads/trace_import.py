@@ -1,0 +1,408 @@
+"""External trace adapter: run-length block streams as benchmarks.
+
+Two on-disk formats carry the canonical trace arrays
+(:data:`repro.engine.trace.TRACE_ARRAY_FIELDS`):
+
+* **JSONL** (``.jsonl``): a header line ``{"format": "repro-trace",
+  "version": 1, "benchmark": ..., "scale": ..., "n_segments": ...,
+  "total_instructions": ...}`` followed by one line per segment
+  ``{"blocks": [...], "reps": r, "outer": o, "iter_base": b,
+  "loop": l}`` — greppable, streamable, diffable.
+* **flat-array** (``.npz``): the six canonical arrays plus the same
+  header as a JSON string under ``meta`` — compact and loadable without
+  parsing a line per segment.
+
+A file imported as benchmark ``import:<path>`` is a first-class
+benchmark: the header names the *base* benchmark (suite or family
+member) and workload scale the stream was exported at, the base
+workload is rebuilt deterministically from that name, and the imported
+arrays are installed verbatim — so a clean export/import round-trip is
+bit-identical to the original ``Trace.arrays()``.
+
+Validation quarantines rather than trusts: any malformed or
+inconsistent input raises :class:`~repro.errors.TraceImportError`
+*before* anything enters the workload registry, and each rejection is
+counted on ``repro_trace_import_rejected_total`` (labelled by reason).
+Because the runner's workload scale cannot re-unroll someone else's
+stream, imported benchmarks always run at their embedded scale; the
+requested scale is ignored.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from ..errors import HarnessError, TraceImportError
+from ..obs.metrics import TRACE_IMPORT_REJECTED, MetricsRegistry
+
+#: Header fields every trace file must carry.
+FORMAT_NAME = "repro-trace"
+FORMAT_VERSION = 1
+
+#: Benchmark-name prefix of imported traces (mirrors ``sets.IMPORT_PREFIX``).
+IMPORT_PREFIX = "import:"
+
+_HEADER_FIELDS = (
+    "format", "version", "benchmark", "scale", "n_segments",
+    "total_instructions",
+)
+
+
+@dataclass(frozen=True)
+class ImportRecord:
+    """One validated import: the rebuilt base workload plus the arrays."""
+
+    path: str
+    digest: str
+    benchmark: str
+    scale: float
+    workload: Any  # repro.workloads.generator.Workload
+    arrays: Dict[str, np.ndarray]
+    total_instructions: int
+
+
+#: Validated imports keyed by the path as given; invalidated on digest
+#: change, so editing a file in place is picked up, not stale-served.
+_IMPORTS: Dict[str, ImportRecord] = {}
+
+
+def clear_cache() -> None:
+    """Drop all cached imports (mainly for tests)."""
+    _IMPORTS.clear()
+
+
+def _reject(
+    metrics: Optional[MetricsRegistry], reason: str, message: str
+) -> None:
+    """Count the rejection and quarantine the input (raise)."""
+    if metrics is not None:
+        metrics.counter(TRACE_IMPORT_REJECTED, reason=reason).inc()
+    raise TraceImportError(message)
+
+
+def _format_of(path: Path) -> str:
+    if path.suffix == ".jsonl":
+        return "jsonl"
+    if path.suffix == ".npz":
+        return "npz"
+    raise HarnessError(
+        f"trace file {path} must end in .jsonl or .npz"
+    )
+
+
+# ----------------------------------------------------------------------
+# Export
+# ----------------------------------------------------------------------
+def export_trace(trace, path, benchmark: str, scale: float = 1.0) -> Path:
+    """Write *trace* to *path* in the format its suffix selects.
+
+    *benchmark* and *scale* name the workload the stream unrolled from —
+    they are what import uses to rebuild the base program, so they must
+    be resolvable by the registry on the importing side.
+    """
+    path = Path(path)
+    fmt = _format_of(path)
+    header = {
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        "benchmark": benchmark,
+        "scale": scale,
+        "n_segments": int(trace.n_segments),
+        "total_instructions": int(trace.total_instructions),
+    }
+    arrays = trace.arrays()
+    if fmt == "npz":
+        np.savez_compressed(
+            path, meta=np.array([json.dumps(header)]), **arrays
+        )
+        return path
+    offsets = np.concatenate(
+        ([0], np.cumsum(arrays["blocks_per_segment"]))
+    )
+    with path.open("w") as handle:
+        handle.write(json.dumps(header) + "\n")
+        flat = arrays["flat_blocks"]
+        for i in range(int(trace.n_segments)):
+            lo, hi = int(offsets[i]), int(offsets[i + 1])
+            handle.write(json.dumps({
+                "blocks": [int(b) for b in flat[lo:hi]],
+                "reps": int(arrays["reps"][i]),
+                "outer": int(arrays["outer_index"][i]),
+                "iter_base": int(arrays["iter_base"][i]),
+                "loop": int(arrays["loop_id"][i]),
+            }) + "\n")
+    return path
+
+
+# ----------------------------------------------------------------------
+# Parsing (format -> header + raw arrays, no semantic checks yet)
+# ----------------------------------------------------------------------
+def _parse_jsonl(
+    raw: bytes, metrics: Optional[MetricsRegistry], where: str
+) -> Tuple[dict, Dict[str, np.ndarray]]:
+    lines = raw.decode("utf-8", errors="replace").splitlines()
+    if not lines:
+        _reject(metrics, "empty", f"{where}: empty trace file")
+    try:
+        header = json.loads(lines[0])
+    except ValueError:
+        _reject(metrics, "bad_json", f"{where}: unparseable header line")
+    if not isinstance(header, dict):
+        _reject(metrics, "bad_header", f"{where}: header is not an object")
+    flat, nblocks, reps, outer, iter_base, loop = [], [], [], [], [], []
+    for n, line in enumerate(lines[1:], start=2):
+        if not line.strip():
+            continue
+        try:
+            seg = json.loads(line)
+            blocks = seg["blocks"]
+            if not isinstance(blocks, list):
+                raise TypeError("blocks must be a list")
+            flat.extend(int(b) for b in blocks)
+            nblocks.append(len(blocks))
+            reps.append(int(seg["reps"]))
+            outer.append(int(seg.get("outer", -1)))
+            iter_base.append(int(seg.get("iter_base", 0)))
+            loop.append(int(seg.get("loop", -1)))
+        except (ValueError, TypeError, KeyError) as err:
+            _reject(
+                metrics, "bad_segment",
+                f"{where}:{n}: unparseable segment line ({err})",
+            )
+    arrays = {
+        "flat_blocks": np.array(flat, dtype=np.int64),
+        "blocks_per_segment": np.array(nblocks, dtype=np.int64),
+        "reps": np.array(reps, dtype=np.int64),
+        "outer_index": np.array(outer, dtype=np.int64),
+        "iter_base": np.array(iter_base, dtype=np.int64),
+        "loop_id": np.array(loop, dtype=np.int64),
+    }
+    return header, arrays
+
+
+def _parse_npz(
+    path: Path, metrics: Optional[MetricsRegistry], where: str
+) -> Tuple[dict, Dict[str, np.ndarray]]:
+    from ..engine.trace import TRACE_ARRAY_FIELDS
+
+    try:
+        with np.load(path, allow_pickle=False) as bundle:
+            names = set(bundle.files)
+            missing = ({"meta", *TRACE_ARRAY_FIELDS}) - names
+            if missing:
+                _reject(
+                    metrics, "missing_arrays",
+                    f"{where}: missing entries {sorted(missing)}",
+                )
+            header = json.loads(str(bundle["meta"][0]))
+            arrays = {
+                field: np.asarray(bundle[field], dtype=np.int64)
+                for field in TRACE_ARRAY_FIELDS
+            }
+    except TraceImportError:
+        raise
+    except Exception as err:  # zipfile/json/dtype failures alike
+        _reject(metrics, "bad_npz", f"{where}: unreadable npz ({err})")
+    if not isinstance(header, dict):
+        _reject(metrics, "bad_header", f"{where}: meta is not an object")
+    return header, arrays
+
+
+# ----------------------------------------------------------------------
+# Validation + workload rebuild
+# ----------------------------------------------------------------------
+def _validate_header(
+    header: dict, metrics: Optional[MetricsRegistry], where: str
+) -> None:
+    missing = [f for f in _HEADER_FIELDS if f not in header]
+    if missing:
+        _reject(
+            metrics, "bad_header",
+            f"{where}: header missing fields {missing}",
+        )
+    if header["format"] != FORMAT_NAME:
+        _reject(
+            metrics, "bad_format",
+            f"{where}: format {header['format']!r} is not {FORMAT_NAME!r}",
+        )
+    if header["version"] != FORMAT_VERSION:
+        _reject(
+            metrics, "bad_version",
+            f"{where}: version {header['version']!r} is not "
+            f"{FORMAT_VERSION}",
+        )
+
+
+def _validate_against(
+    workload,
+    header: dict,
+    arrays: Dict[str, np.ndarray],
+    metrics: Optional[MetricsRegistry],
+    where: str,
+) -> int:
+    """Semantic checks against the rebuilt base workload.
+
+    Returns the recomputed total instruction count (must equal the
+    header's, so truncation or rep tampering cannot slip through).
+    """
+    n = len(arrays["reps"])
+    if n == 0:
+        _reject(metrics, "empty", f"{where}: trace has no segments")
+    if n != int(header["n_segments"]):
+        _reject(
+            metrics, "segment_count",
+            f"{where}: header says {header['n_segments']} segments, "
+            f"file has {n}",
+        )
+    for field in ("blocks_per_segment", "reps", "outer_index", "iter_base",
+                  "loop_id"):
+        if len(arrays[field]) != n:
+            _reject(
+                metrics, "length_mismatch",
+                f"{where}: array {field!r} length {len(arrays[field])} "
+                f"!= {n}",
+            )
+    if int(arrays["blocks_per_segment"].sum()) != len(arrays["flat_blocks"]):
+        _reject(
+            metrics, "length_mismatch",
+            f"{where}: flat_blocks length inconsistent with "
+            "blocks_per_segment",
+        )
+    if (arrays["blocks_per_segment"] < 1).any():
+        _reject(metrics, "bad_segment", f"{where}: segment with no blocks")
+    if (arrays["reps"] < 1).any():
+        _reject(metrics, "bad_reps", f"{where}: segment reps must be >= 1")
+    if (arrays["iter_base"] < 0).any():
+        _reject(metrics, "bad_segment",
+                f"{where}: negative iter_base")
+    n_blocks = len(workload.program.block_sizes)
+    flat = arrays["flat_blocks"]
+    if flat.size and (
+        int(flat.min()) < 0 or int(flat.max()) >= n_blocks
+    ):
+        _reject(
+            metrics, "block_range",
+            f"{where}: block ids outside the base program's "
+            f"[0, {n_blocks}) range",
+        )
+    n_outer = workload.spec.n_outer_iterations
+    outer = arrays["outer_index"]
+    if int(outer.min()) < -1 or int(outer.max()) >= n_outer:
+        _reject(
+            metrics, "outer_range",
+            f"{where}: outer_index outside [-1, {n_outer})",
+        )
+    offsets = np.concatenate(([0], np.cumsum(arrays["blocks_per_segment"])))
+    rep_lengths = np.add.reduceat(
+        workload.program.block_sizes[flat], offsets[:-1]
+    )
+    total = int((rep_lengths * arrays["reps"]).sum())
+    if total != int(header["total_instructions"]):
+        _reject(
+            metrics, "total_mismatch",
+            f"{where}: recomputed {total} instructions, header claims "
+            f"{header['total_instructions']}",
+        )
+    return total
+
+
+def load_import(
+    path_text: str, metrics: Optional[MetricsRegistry] = None
+) -> ImportRecord:
+    """Validate (and cache) the trace file at *path_text*.
+
+    Missing files are a usage error (:class:`HarnessError`, CLI exit 2);
+    present-but-invalid files are quarantined
+    (:class:`TraceImportError`, counted).
+    """
+    from .registry import load_workload
+
+    path = Path(path_text)
+    if not path.is_file():
+        raise HarnessError(f"trace file not found: {path}")
+    raw = path.read_bytes()
+    digest = hashlib.sha256(raw).hexdigest()
+    cached = _IMPORTS.get(path_text)
+    if cached is not None and cached.digest == digest:
+        return cached
+
+    where = str(path)
+    if _format_of(path) == "jsonl":
+        header, arrays = _parse_jsonl(raw, metrics, where)
+    else:
+        header, arrays = _parse_npz(path, metrics, where)
+    _validate_header(header, metrics, where)
+
+    base = header["benchmark"]
+    scale = float(header["scale"])
+    if isinstance(base, str) and base.startswith(IMPORT_PREFIX):
+        _reject(
+            metrics, "recursive_base",
+            f"{where}: base benchmark cannot itself be an import",
+        )
+    try:
+        base_workload = load_workload(base, scale=scale)
+    except TraceImportError:
+        raise
+    except Exception as err:
+        _reject(
+            metrics, "unknown_base",
+            f"{where}: cannot rebuild base benchmark {base!r} at scale "
+            f"{scale:g} ({err})",
+        )
+    total = _validate_against(base_workload, header, arrays, metrics, where)
+
+    # The imported benchmark is the base workload renamed (the top-level
+    # name is cosmetic to the program, so block identity is preserved)
+    # with the content digest in the description — result-cache keys
+    # fingerprint the spec repr, so editing the file invalidates them.
+    from .generator import generate_workload
+
+    spec = base_workload.spec
+    renamed = replace(
+        spec,
+        name=f"{IMPORT_PREFIX}{path_text}",
+        description=(
+            f"imported from {path} (base {base!r} @ {scale:g}, "
+            f"sha256 {digest[:16]})"
+        ),
+    )
+    record = ImportRecord(
+        path=path_text,
+        digest=digest,
+        benchmark=base,
+        scale=scale,
+        workload=generate_workload(renamed),
+        arrays=arrays,
+        total_instructions=total,
+    )
+    _IMPORTS[path_text] = record
+    return record
+
+
+def import_spec(path_text: str, metrics: Optional[MetricsRegistry] = None):
+    """The (renamed, digest-stamped) spec of the import at *path_text*."""
+    return load_import(path_text, metrics).workload.spec
+
+
+def imported_trace(
+    path_text: str, metrics: Optional[MetricsRegistry] = None
+):
+    """The import's :class:`~repro.engine.trace.Trace`, arrays verbatim."""
+    from ..engine.trace import Trace
+    from ..errors import TraceError
+
+    record = load_import(path_text, metrics)
+    try:
+        return Trace(record.workload, arrays=record.arrays)
+    except TraceError as err:
+        _reject(
+            metrics, "inconsistent",
+            f"{record.path}: arrays rejected by trace model ({err})",
+        )

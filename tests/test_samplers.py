@@ -209,6 +209,87 @@ def test_serial_equals_parallel(tmp_path, test_sampling):
     assert outcome(1, "serial") == outcome(2, "parallel")
 
 
+# ----------------------------------------------------------------------
+# Conformance over seeded family members: the same contracts must hold
+# off the hand-written suite, since campaigns run mostly on fam: names.
+
+FAMILY_MEMBERS = (
+    "fam:irregular[0]",
+    "fam:phase-heavy[1]",
+    "fam:multi-regime[2]",
+)
+
+
+@pytest.fixture(scope="module")
+def family_runs(conformance_runner):
+    return {
+        name: conformance_runner.run_benchmark(name, CONFIG_A)
+        for name in FAMILY_MEMBERS
+    }
+
+
+# NB: the parameter is named `member`, not `benchmark` — pytest-benchmark
+# owns a `benchmark` fixture and hijacks any funcarg of that name.
+@pytest.mark.parametrize("member", FAMILY_MEMBERS)
+class TestFamilyConformance:
+    def test_plans_deterministic_across_rebuilds(self, member,
+                                                 conformance_runner,
+                                                 test_sampling):
+        trace = conformance_runner.trace(member)
+        for method in registered_methods():
+            spec = get_sampler(method)
+            first, _ = spec.build_plan(
+                PlanContext(trace, test_sampling, member)
+            )
+            second, _ = spec.build_plan(
+                PlanContext(trace, test_sampling, member)
+            )
+            assert first == second, method
+
+    @pytest.mark.parametrize("method", registered_methods())
+    def test_plan_covers_weight_one(self, member, method,
+                                    conformance_runner, family_runs):
+        plan = conformance_runner.plans(member)[method]
+        assert plan.method == method
+        assert plan.benchmark == member
+        assert sum(p.weight for p in plan.points) == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("method", registered_methods())
+    def test_attribution_is_exact(self, member, method, family_runs):
+        diag = family_runs[member].diagnostics[method]
+        for metric, total in diag.total_error.items():
+            recomposed = sum(
+                row.contributions.get(metric, 0.0) for row in diag.phases
+            ) + diag.residual[metric]
+            assert recomposed == pytest.approx(total, abs=1e-9)
+
+    @pytest.mark.parametrize("method", registered_methods())
+    def test_estimate_within_sanity_bounds(self, member, method,
+                                           family_runs):
+        estimate = family_runs[member].methods[method].estimate
+        assert 0.0 < estimate.cpi < 10.0
+        assert 0.0 <= estimate.l1_hit_rate <= 1.0
+        assert 0.0 <= estimate.l2_hit_rate <= 1.0
+
+
+def test_family_serial_equals_parallel(tmp_path, test_sampling):
+    """Workers resolve fam: names by themselves; results are identical."""
+    names = ["fam:input-dependent[0]", "fam:cache-hostile[1]"]
+
+    def outcome(jobs, sub):
+        runner = ExperimentRunner(
+            sampling=test_sampling,
+            cache=ResultCache(tmp_path / sub),
+            workload_scale=0.04,
+            jobs=jobs,
+            methods=("simpoint", "multilevel"),
+        )
+        result = runner.run_suite(names=names, jobs=jobs)
+        return [run.to_dict() for run in result]
+
+    assert outcome(1, "serial") == outcome(2, "parallel")
+
+
 class TestNewSamplerGoldens:
     @pytest.fixture(scope="class")
     def golden_run(self, test_sampling):

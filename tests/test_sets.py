@@ -1,0 +1,232 @@
+"""Parser and resolution battery for the benchmark set-expression language.
+
+Three layers:
+
+* positive resolution semantics — named sets, union/difference order,
+  slices over sets and over the unbounded family index space;
+* negative/fuzz coverage — malformed expressions and unknown names are
+  usage errors (HarnessError, CLI exit 2), never tracebacks;
+* a Hypothesis round-trip pin: ``parse(format_expr(e)) == e`` over
+  generated ASTs, so the canonical formatter and the parser cannot
+  drift apart.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cli import main
+from repro.errors import HarnessError
+from repro.workloads.sets import (
+    Binary,
+    Name,
+    Slice,
+    describe_sets,
+    format_expr,
+    named_sets,
+    parse,
+    resolve,
+)
+from repro.workloads.suite import QUICK_SUITE_NAMES, SUITE_NAMES
+
+
+class TestNamedSets:
+    def test_all_and_quick_mirror_suite(self):
+        sets = named_sets()
+        assert sets["all"] == SUITE_NAMES
+        assert sets["quick"] == QUICK_SUITE_NAMES
+
+    def test_int_fp_partition_the_suite(self):
+        sets = named_sets()
+        assert set(sets["int"]) | set(sets["fp"]) == set(SUITE_NAMES)
+        assert not set(sets["int"]) & set(sets["fp"])
+
+    def test_derived_sets_nonempty(self):
+        sets = named_sets()
+        assert sets["phase-heavy"]
+        assert sets["cache-hostile"]
+
+    def test_describe_sets_covers_sets_and_families(self):
+        names = [name for name, _ in describe_sets()]
+        for expected in ("all", "quick", "fam:irregular",
+                         "fam:cache-hostile"):
+            assert expected in names
+
+
+class TestResolution:
+    def test_single_benchmark(self):
+        assert resolve("gzip") == ("gzip",)
+
+    def test_union_preserves_first_occurrence_order(self):
+        assert resolve("quick + gzip") == QUICK_SUITE_NAMES
+        merged = resolve("gzip + quick")
+        assert merged[0] == "gzip"
+        assert sorted(merged) == sorted(QUICK_SUITE_NAMES)
+
+    def test_difference_removes_every_occurrence(self):
+        assert resolve("quick - gzip") == tuple(
+            n for n in QUICK_SUITE_NAMES if n != "gzip"
+        )
+
+    def test_left_associative_precedence(self):
+        # (quick - gzip) + gzip re-adds it at the end...
+        assert resolve("quick - gzip + gzip")[-1] == "gzip"
+        # ...while quick - (gzip + gzip) removes it for good.
+        assert "gzip" not in resolve("quick - (gzip + gzip)")
+
+    def test_list_slice_over_named_set(self):
+        assert resolve("all[0:3]") == SUITE_NAMES[:3]
+        assert resolve("int[2]") == (SUITE_NAMES[2],)
+
+    def test_bare_family_materialises_default_count(self):
+        members = resolve("fam:irregular")
+        assert len(members) == 16
+        assert members[0] == "fam:irregular[0]"
+
+    def test_family_slice_indexes_member_space(self):
+        assert resolve("fam:irregular[0:4]") == tuple(
+            f"fam:irregular[{i}]" for i in range(4)
+        )
+        # ...beyond the default count: the index space is unbounded.
+        assert resolve("fam:irregular[30:32]") == (
+            "fam:irregular[30]", "fam:irregular[31]",
+        )
+
+    def test_single_member_resolves_to_itself(self):
+        assert resolve("fam:phase-heavy[3]") == ("fam:phase-heavy[3]",)
+
+    def test_import_names_pass_through(self):
+        assert resolve("import:/tmp/x.jsonl") == ("import:/tmp/x.jsonl",)
+
+    def test_acceptance_expression(self):
+        names = resolve("phase-heavy + fam:irregular[0:4]")
+        assert set(named_sets()["phase-heavy"]) <= set(names)
+        assert "fam:irregular[3]" in names
+
+    def test_hyphenated_set_name_vs_difference(self):
+        # Glued '-' is part of the name; spaced '-' is the operator.
+        assert resolve("phase-heavy") == named_sets()["phase-heavy"]
+        spaced = resolve("phase-heavy - gzip")
+        assert "gzip" not in spaced
+
+    def test_resolve_accepts_parsed_ast(self):
+        assert resolve(Name("quick")) == QUICK_SUITE_NAMES
+
+
+class TestParserNegative:
+    @pytest.mark.parametrize("bad", [
+        "", "   ", "+", "gzip +", "+ gzip", "(gzip", "gzip)",
+        "quick[", "quick[0:", "quick[a:b]", "quick[1:2:3]",
+        "quick[2:1]", "quick[]", "gzip & mcf", "gzip ~quick",
+        "()", "( )", "[0:2]",
+    ])
+    def test_malformed_expressions_raise_harness_error(self, bad):
+        with pytest.raises(HarnessError):
+            parse(bad)
+
+    @pytest.mark.parametrize("bad", [
+        "bogus", "fam:nosuch", "fam:nosuch[3]",
+    ])
+    def test_unknown_names_raise_with_hint(self, bad):
+        with pytest.raises(HarnessError) as err:
+            resolve(bad)
+        assert "fam:irregular" in str(err.value) or "known" in str(err.value)
+
+    def test_import_without_path_is_an_error(self):
+        with pytest.raises(HarnessError) as err:
+            resolve("import:")
+        assert "path" in str(err.value)
+
+    def test_empty_result_is_an_error(self):
+        with pytest.raises(HarnessError) as err:
+            resolve("quick - all")
+        assert "no benchmarks" in str(err.value)
+
+    def test_empty_slice_of_set_is_an_error(self):
+        with pytest.raises(HarnessError):
+            resolve("quick[0:0]")
+
+    @given(st.text(max_size=30))
+    @settings(max_examples=120, deadline=None)
+    def test_fuzz_never_raises_anything_else(self, text):
+        # Arbitrary garbage either parses+resolves or raises the one
+        # user-facing error type — no IndexError/ValueError leaks.
+        try:
+            resolve(text)
+        except HarnessError:
+            pass
+
+
+class TestCliExitCodes:
+    """Usage errors surface as exit 2 end to end, data errors as 1."""
+
+    @pytest.mark.parametrize("expr", ["bogus", "quick[2:1]", "quick - all"])
+    def test_sets_command_exits_2(self, expr, capsys):
+        assert main(["sets", expr]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "Traceback" not in err
+
+    def test_sets_lists_without_argument(self, capsys):
+        assert main(["sets"]) == 0
+        out = capsys.readouterr().out
+        assert "phase-heavy" in out and "fam:irregular" in out
+
+    def test_sets_resolves_expression(self, capsys):
+        assert main(["sets", "quick - gzip + fam:irregular[0]"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines == ["lucas", "mcf", "fam:irregular[0]"] or \
+            lines == ["mcf", "lucas", "fam:irregular[0]"]
+
+    def test_run_rejects_multi_benchmark_expression(self, capsys):
+        assert main(["run", "quick"]) == 2
+        err = capsys.readouterr().err
+        assert "exactly one" in err
+
+    def test_suite_benchmarks_flag_rejects_malformed(self, capsys):
+        assert main(["suite", "--benchmarks", "quick[9:1]"]) == 2
+
+    def test_leaderboard_benchmarks_flag_rejects_unknown(self, capsys):
+        assert main(["leaderboard", "--benchmarks", "doom3"]) == 2
+
+
+# ----------------------------------------------------------------------
+# Hypothesis round-trip: parse(format_expr(e)) == e
+# ----------------------------------------------------------------------
+_names = st.from_regex(
+    r"[a-z][a-z0-9_.]{0,6}(-[a-z][a-z0-9]{0,3}){0,2}", fullmatch=True
+)
+_bound = st.one_of(st.none(), st.integers(0, 99))
+_slices = st.tuples(_bound, _bound).filter(
+    lambda pair: pair[0] is None or pair[1] is None or pair[0] <= pair[1]
+)
+
+
+def _ast_strategy():
+    return st.recursive(
+        st.builds(Name, _names),
+        lambda children: st.one_of(
+            st.builds(
+                lambda base, bounds: Slice(base, bounds[0], bounds[1]),
+                children, _slices,
+            ),
+            st.builds(
+                lambda op, left, right: Binary(op, left, right),
+                st.sampled_from(("+", "-")), children, children,
+            ),
+        ),
+        max_leaves=8,
+    )
+
+
+@given(expr=_ast_strategy())
+@settings(max_examples=200, deadline=None)
+def test_parse_format_round_trip(expr):
+    assert parse(format_expr(expr)) == expr
+
+
+@given(expr=_ast_strategy())
+@settings(max_examples=100, deadline=None)
+def test_format_is_canonical(expr):
+    """Formatting is a fixed point: format(parse(format(e))) == format(e)."""
+    text = format_expr(expr)
+    assert format_expr(parse(text)) == text
