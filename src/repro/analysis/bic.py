@@ -76,7 +76,9 @@ def select_k(scores: Dict[int, float], threshold: float = 0.9) -> int:
         return min(scores)
     low = min(finite.values())
     high = max(finite.values())
-    cutoff = low + threshold * (high - low)
+    # Clamp: low + threshold*(high-low) can round above high when the
+    # range is large, leaving no eligible k even at threshold == 1.0.
+    cutoff = min(low + threshold * (high - low), high)
     eligible = [k for k, s in finite.items() if s >= cutoff]
     return min(eligible)
 

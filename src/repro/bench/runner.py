@@ -15,13 +15,14 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from ..errors import HarnessError
-from ..obs import ObsContext
+from ..obs import ObsContext, register_help
 from .suite import BenchCase
 
 logger = logging.getLogger(__name__)
 
 #: Counter: measured bench repetitions, labelled by case and backend.
 BENCH_REPS = "repro_bench_reps"
+register_help(BENCH_REPS, "Measured bench repetitions per case/backend.")
 
 
 @dataclass(frozen=True)

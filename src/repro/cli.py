@@ -32,6 +32,7 @@ import argparse
 import json
 import logging
 import sys
+import time
 from pathlib import Path
 from typing import List, Optional
 
@@ -57,18 +58,29 @@ from .errors import (
     TraceImportError,
 )
 from .obs import (
+    EventLog,
     ObsContext,
     RunHistory,
     RunManifest,
+    TelemetryPlane,
+    TelemetryServer,
     diag_views,
     diff_records,
+    follow_events,
     format_diag_report,
     format_diff,
+    format_event,
     format_history,
     format_trace_report,
+    match_event,
+    parse_filters,
+    read_events,
     read_trace_jsonl,
     record_from_bench,
     record_from_manifest,
+    render_folded,
+    trace_report_json,
+    write_folded,
     write_prometheus,
     write_trace_jsonl,
 )
@@ -194,6 +206,52 @@ def _emit_obs(
     if manifest_out:
         manifest.write(manifest_out)
         print(f"[manifest written to {manifest_out}]")
+
+
+def _start_telemetry(
+    runner: ExperimentRunner, args: argparse.Namespace
+):
+    """Attach the live telemetry plane when ``--serve``/``--events-out``
+    ask for it; returns ``(plane, server)`` or ``None``.
+
+    The plane folds streamed worker metrics into a live registry and
+    records lifecycle events; the server (only with ``--serve``) exposes
+    ``/metrics``, ``/progress``, ``/events`` and ``/healthz`` while the
+    campaign runs.  Telemetry is strictly out-of-band — results are
+    byte-identical with or without it.
+    """
+    serve_port = getattr(args, "serve", None)
+    events_out = getattr(args, "events_out", None)
+    if serve_port is None and events_out is None:
+        return None
+    plane = TelemetryPlane(runner.obs, events=EventLog(sink=events_out))
+    runner.telemetry = plane
+    server = None
+    if serve_port is not None:
+        server = TelemetryServer(plane, port=serve_port)
+        server.start()
+        print(f"[telemetry: {server.url}/metrics /progress /events "
+              f"/healthz]", file=sys.stderr)
+    return (plane, server)
+
+
+def _finish_telemetry(handle, args: argparse.Namespace) -> None:
+    """Flip ``/healthz`` to done, honour ``--serve-grace``, tear down.
+
+    ``mark_done`` runs only after every artefact (``--metrics-out`` et
+    al.) is written, so a scraper that observed ``phase: done`` can take
+    one final ``/metrics`` sample and trust it equals the written file.
+    """
+    if handle is None:
+        return
+    plane, server = handle
+    if server is not None:
+        server.mark_done()
+        grace = getattr(args, "serve_grace", 0.0) or 0.0
+        if grace > 0:
+            time.sleep(grace)
+        server.stop()
+    plane.close()
 
 
 def _history_store(args: argparse.Namespace) -> RunHistory:
@@ -358,6 +416,7 @@ def _cmd_suite(args: argparse.Namespace) -> int:
     names = _resolve_benchmarks(getattr(args, "benchmarks", None))
     runner = _make_runner(args)
     config = _config_of(args.config)
+    telemetry = _start_telemetry(runner, args)
     outcome = runner.run_suite(config, names=names, quick=args.quick,
                                progress=args.progress)
     # Columns follow the selected method set: one CPI-deviation column
@@ -397,6 +456,7 @@ def _cmd_suite(args: argparse.Namespace) -> int:
         runner, args, kind="suite", config=config,
         names=chosen, runs=list(outcome), outcome=outcome,
     )
+    _finish_telemetry(telemetry, args)
     return _report_failures(runner)
 
 
@@ -406,12 +466,14 @@ def _cmd_leaderboard(args: argparse.Namespace) -> int:
     config = _config_of(args.config)
     names = _resolve_benchmarks(args.benchmarks) or \
         benchmark_names(quick=args.quick)
+    telemetry = _start_telemetry(runner, args)
     outcome = runner.run_suite(
         config, names=names, quick=args.quick, progress=args.progress
     )
     runs = list(outcome)
     if not runs:
         _report_failures(runner)
+        _finish_telemetry(telemetry, args)
         print("error: no benchmark completed; nothing to rank",
               file=sys.stderr)
         return EXIT_PARTIAL
@@ -428,11 +490,13 @@ def _cmd_leaderboard(args: argparse.Namespace) -> int:
         runner, args, kind="leaderboard", config=config, names=names,
         runs=runs, outcome=outcome, ranks=board.ranks,
     )
+    _finish_telemetry(telemetry, args)
     return _report_failures(runner)
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
     runner = _make_runner(args)
+    telemetry = _start_telemetry(runner, args)
     name = args.name
     if name in ("fig3", "fig4"):
         method = "coasts" if name == "fig3" else "multilevel"
@@ -515,6 +579,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         ))
     _emit_timing(runner, args)
     _emit_obs(runner, args)
+    _finish_telemetry(telemetry, args)
     return _report_failures(runner)
 
 
@@ -649,7 +714,70 @@ def _require_trace(path_text: str) -> Path:
 
 def _cmd_obs_report(args: argparse.Namespace) -> int:
     dump = read_trace_jsonl(_require_trace(args.trace))
+    if getattr(args, "json", False):
+        print(json.dumps(trace_report_json(dump), indent=2))
+        return 0
     print(format_trace_report(dump, max_depth=args.depth))
+    return 0
+
+
+def _cmd_obs_serve(args: argparse.Namespace) -> int:
+    """Serve a recorded trace dump over the live-telemetry endpoints."""
+    dump = read_trace_jsonl(_require_trace(args.trace))
+    obs = ObsContext()
+    obs.metrics.merge(dump.metrics)
+    plane = TelemetryPlane(obs)
+    server = TelemetryServer(plane, port=args.port)
+    server.start()
+    server.mark_done()  # a recorded dump is final by definition
+    print(f"[serving {args.trace} on {server.url}; Ctrl-C to stop]")
+    try:
+        deadline = (
+            time.monotonic() + args.duration
+            if args.duration is not None else None
+        )
+        while deadline is None or time.monotonic() < deadline:
+            time.sleep(0.2)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+        plane.close()
+    return 0
+
+
+def _cmd_obs_events(args: argparse.Namespace) -> int:
+    """Print (or tail) a flight-recorder JSONL log."""
+    filters = parse_filters(args.filter)
+    path = Path(args.path)
+    if args.follow:
+        # A missing file is waited for, tail -f style: the campaign
+        # being watched may not have emitted its first event yet.
+        try:
+            for event in follow_events(path, duration=args.duration):
+                if match_event(event, filters):
+                    print(format_event(event), flush=True)
+        except KeyboardInterrupt:
+            pass
+        return 0
+    if not path.exists():
+        raise HarnessError(f"no such events file: {path}")
+    events = [e for e in read_events(path) if match_event(e, filters)]
+    if args.limit:
+        events = events[-args.limit:]
+    for event in events:
+        print(format_event(event))
+    return 0
+
+
+def _cmd_obs_flame(args: argparse.Namespace) -> int:
+    """Export a recorded trace as folded stacks (flamegraph input)."""
+    dump = read_trace_jsonl(_require_trace(args.trace))
+    if args.out:
+        count = write_folded(args.out, dump)
+        print(f"[{count} folded stacks written to {args.out}]")
+    else:
+        sys.stdout.write(render_folded(dump))
     return 0
 
 
@@ -762,6 +890,24 @@ def build_parser() -> argparse.ArgumentParser:
                             "worker heartbeat (default: "
                             f"{DEFAULT_LEASE_TIMEOUT:g})")
 
+    def add_serve(p: argparse.ArgumentParser) -> None:
+        # Live telemetry plane: streamed worker metrics, progress and
+        # the flight recorder, scrapeable while the campaign runs.
+        p.add_argument("--serve", type=int, default=None, metavar="PORT",
+                       help="serve live telemetry over HTTP while the "
+                            "campaign runs: /metrics (Prometheus), "
+                            "/progress, /events, /healthz "
+                            "(PORT 0 = ephemeral)")
+        p.add_argument("--serve-grace", type=float, default=0.0,
+                       metavar="SECONDS",
+                       help="keep the telemetry server up this long "
+                            "after the command finishes, for a final "
+                            "scrape (default: 0)")
+        p.add_argument("--events-out", metavar="FILE", default=None,
+                       help="append flight-recorder lifecycle events as "
+                            "JSONL to FILE (tail with `repro obs events "
+                            "--follow`)")
+
     def add_fault(p: argparse.ArgumentParser) -> None:
         # Fault tolerance: failing runs are retried, then reported as
         # FAILED table rows (exit 1) instead of aborting the campaign.
@@ -803,6 +949,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_methods(suite)
     add_jobs(suite)
     add_dispatch(suite)
+    add_serve(suite)
     add_fault(suite)
     add_common(suite)
     add_history(suite)
@@ -828,6 +975,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_methods(leaderboard)
     add_jobs(leaderboard)
     add_dispatch(leaderboard)
+    add_serve(leaderboard)
     add_fault(leaderboard)
     add_common(leaderboard)
     add_history(leaderboard)
@@ -844,6 +992,7 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--progress", action="store_true")
     add_jobs(experiment)
     add_dispatch(experiment)
+    add_serve(experiment)
     add_fault(experiment)
     add_common(experiment)
     experiment.set_defaults(func=_cmd_experiment)
@@ -950,7 +1099,55 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("trace", help="path to a --trace-out JSONL file")
     report.add_argument("--depth", type=int, default=None, metavar="N",
                         help="limit the rendered span tree depth")
+    report.add_argument("--json", action="store_true",
+                        help="emit the span tree, aggregates and metrics "
+                             "as one JSON document instead of text")
     report.set_defaults(func=_cmd_obs_report)
+
+    serve = obs_sub.add_parser(
+        "serve",
+        help="serve a recorded --trace-out dump over the live-telemetry "
+             "HTTP endpoints (/metrics, /progress, /healthz)",
+    )
+    serve.add_argument("trace", help="path to a --trace-out JSONL file")
+    serve.add_argument("--port", type=int, default=0, metavar="PORT",
+                       help="port to bind (default: 0 = ephemeral)")
+    serve.add_argument("--duration", type=float, default=None,
+                       metavar="SECONDS",
+                       help="serve this long then exit (default: until "
+                            "Ctrl-C)")
+    serve.set_defaults(func=_cmd_obs_serve)
+
+    events = obs_sub.add_parser(
+        "events",
+        help="print or tail a flight-recorder log (--events-out JSONL)",
+    )
+    events.add_argument("path", help="path to an --events-out JSONL file")
+    events.add_argument("--follow", action="store_true",
+                        help="tail -f style: wait for new events (and "
+                             "for the file itself) instead of exiting")
+    events.add_argument("--filter", action="append", default=[],
+                        metavar="KEY=VALUE",
+                        help="only events matching every filter; a bare "
+                             "word filters the event kind (repeatable)")
+    events.add_argument("--limit", type=int, default=0, metavar="N",
+                        help="only the N most recent events (default: "
+                             "all)")
+    events.add_argument("--duration", type=float, default=None,
+                        metavar="SECONDS",
+                        help="with --follow: stop after this long "
+                             "(default: until Ctrl-C)")
+    events.set_defaults(func=_cmd_obs_events)
+
+    flame = obs_sub.add_parser(
+        "flame",
+        help="export a recorded trace as folded stacks "
+             "(flamegraph.pl / speedscope input)",
+    )
+    flame.add_argument("trace", help="path to a --trace-out JSONL file")
+    flame.add_argument("--out", metavar="FILE", default=None,
+                       help="write to FILE instead of stdout")
+    flame.set_defaults(func=_cmd_obs_flame)
 
     diag = obs_sub.add_parser(
         "diag",

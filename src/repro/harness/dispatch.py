@@ -150,6 +150,7 @@ class LeaseTable:
         lease_timeout: float,
         heartbeat_interval: float,
         metrics: Optional[MetricsRegistry] = None,
+        events: Optional[object] = None,
     ) -> None:
         if lease_timeout <= 0:
             raise HarnessError(
@@ -162,6 +163,10 @@ class LeaseTable:
         self.lease_timeout = float(lease_timeout)
         self.heartbeat_interval = float(heartbeat_interval)
         self.metrics = metrics
+        #: Optional flight recorder (:class:`repro.obs.events.EventLog`)
+        #: — like ``metrics``, a passive sink that keeps the state
+        #: machine pure.
+        self.events = events
         self._active: Dict[str, Lease] = {}
         self._by_index: Dict[int, str] = {}
         self._committed: Set[int] = set()
@@ -173,6 +178,10 @@ class LeaseTable:
     def _count(self, name: str, amount: float = 1.0) -> None:
         if self.metrics is not None:
             self.metrics.counter(name).inc(amount)
+
+    def _event(self, kind: str, **fields) -> None:
+        if self.events is not None:
+            self.events.emit(kind, **fields)
 
     def active_count(self) -> int:
         """Number of currently active leases."""
@@ -209,9 +218,16 @@ class LeaseTable:
         self._active[lease.lease_id] = lease
         self._by_index[index] = lease.lease_id
         self._count(DISPATCH_LEASES)
+        self._event(
+            "lease_grant", lease=lease.lease_id, index=index, worker=worker,
+        )
         lost_to = self._lost.pop(index, None)
         if lost_to is not None and lost_to != worker:
             self._count(DISPATCH_STEALS)
+            self._event(
+                "lease_steal", lease=lease.lease_id, index=index,
+                worker=worker, lost_by=lost_to,
+            )
         return lease
 
     def ungrant(self, lease_id: str) -> Optional[Lease]:
@@ -271,6 +287,10 @@ class LeaseTable:
         self._by_index.pop(lease.index, None)
         self._lost[lease.index] = lease.worker
         self._count(DISPATCH_RECLAIMS)
+        self._event(
+            "lease_reclaim", lease=lease.lease_id, index=lease.index,
+            worker=lease.worker,
+        )
 
     def settle(self, lease_id: str, ok: bool, now: float) -> Optional[Lease]:
         """Gate one incoming result.  Returns the lease iff it may land.
@@ -285,6 +305,7 @@ class LeaseTable:
         lease = self._active.get(lease_id)
         if lease is None:
             self._count(DISPATCH_STALE_COMMITS)
+            self._event("stale_commit", lease=lease_id)
             return None
         if lease.partitioned:
             return None
@@ -297,6 +318,10 @@ class LeaseTable:
                 self.metrics.histogram(DISPATCH_LEASE_SECONDS).observe(
                     max(now - lease.granted_at, 0.0)
                 )
+            self._event(
+                "lease_commit", lease=lease_id, index=lease.index,
+                worker=lease.worker,
+            )
         return lease
 
 
@@ -513,9 +538,34 @@ class DispatchPool(Pool):
         attempts: Dict[int, int] = {i: 0 for i in range(len(tasks))}
         eligible: Dict[int, float] = {i: 0.0 for i in range(len(tasks))}
         queue: Set[int] = set(range(len(tasks)))
+        # Live telemetry plane (None unless --serve/--events-out): lease
+        # ids double as metrics stream ids — unique per grant, so a
+        # reclaimed-and-stolen task's partial deltas can never collide
+        # with its re-run's stream.
+        plane = getattr(runner, "telemetry", None)
         table = LeaseTable(
-            self.lease_timeout, self.heartbeat_interval, metrics=metrics
+            self.lease_timeout, self.heartbeat_interval, metrics=metrics,
+            events=plane.events if plane is not None else None,
         )
+
+        def _note_worker(wid: int, state: str, benchmark=None, lease=None):
+            if plane is not None:
+                plane.progress.note_worker(
+                    wid, state, benchmark=benchmark, lease=lease
+                )
+
+        def _drop_stream(lease_id: Optional[str]) -> None:
+            if plane is not None and lease_id is not None:
+                plane.live.discard(lease_id)
+
+        def _settle_obs(lease_id: str, payload: Optional[dict]) -> None:
+            """Fold a committed obs payload, atomically retiring the
+            lease's streamed deltas so live scrapes never double count."""
+            if plane is not None:
+                plane.live.resolve(lease_id, merge=lambda: _merge_obs(payload))
+            else:
+                _merge_obs(payload)
+
         inbox: "Queue[Tuple[int, Optional[str]]]" = Queue()
         fleet: Dict[int, _WorkerProc] = {}
         spawn_state = {"serial": 0, "failures": 0}
@@ -545,6 +595,11 @@ class DispatchPool(Pool):
             worker = _WorkerProc(wid, self.command(), inbox)
             fleet[wid] = worker
             self.spawned_pids.append(worker.proc.pid)
+            _note_worker(wid, "starting")
+            if plane is not None:
+                plane.events.emit(
+                    "worker_spawn", worker=wid, pid=worker.proc.pid
+                )
 
         def _usable() -> int:
             return sum(
@@ -591,6 +646,11 @@ class DispatchPool(Pool):
                 )
                 metrics.counter(RUN_RETRIES).inc()
                 metrics.histogram(RETRY_BACKOFF_SECONDS).observe(delay)
+                if plane is not None:
+                    plane.events.emit(
+                        "retry", benchmark=benchmark, config=config.name,
+                        attempt=attempts[index], error=error_type,
+                    )
                 eligible[index] = time.monotonic() + delay
                 queue.add(index)
             else:
@@ -648,12 +708,20 @@ class DispatchPool(Pool):
                     "heartbeat_interval": self.heartbeat_interval,
                     "payload": encode_task_payload(dict(
                         payload_base, benchmark=benchmark, config=config,
+                        worker=f"w{worker.wid}",
+                        trace_ctx=runner.obs.tracer.export_context(
+                            f"{benchmark}:{config.name}:a{attempts[index]}"
+                        ),
                     )),
                 }
                 if worker.send(message):
                     worker.state = worker.BUSY
                     worker.lease_id = lease.lease_id
                     queue.discard(index)
+                    _note_worker(
+                        worker.wid, "busy", benchmark=benchmark,
+                        lease=lease.lease_id,
+                    )
                 else:
                     # Broken pipe: the task never left; re-queue it
                     # without charging an attempt.  The reader's EOF
@@ -665,9 +733,16 @@ class DispatchPool(Pool):
             worker.proc.wait()
             was_starting = worker.state == worker.STARTING
             worker.state = worker.DEAD
+            _note_worker(wid, "dead")
+            if plane is not None:
+                plane.events.emit(
+                    "worker_dead", worker=wid,
+                    exit_code=worker.proc.returncode,
+                )
             lease_id, worker.lease_id = worker.lease_id, None
             if lease_id is not None:
                 lease = table.reclaim(lease_id)
+                _drop_stream(lease_id)
                 if lease is not None:
                     metrics.counter(WORKER_CRASHES).inc()
                     _attempt_failed(
@@ -711,13 +786,15 @@ class DispatchPool(Pool):
                 if worker.state in (worker.BUSY, worker.SUSPECT):
                     worker.state = worker.IDLE
                     worker.lease_id = None
+                    _note_worker(worker.wid, "idle")
                 return
             worker.state = worker.IDLE
             worker.lease_id = None
+            _note_worker(worker.wid, "idle")
             index = lease.index
             benchmark, config = tasks[index]
             if status == "ok":
-                _merge_obs(message.get("obs"))
+                _settle_obs(lease_id, message.get("obs"))
                 metrics.counter(RUNS_COMPLETED).inc()
                 results[index] = BenchmarkRun.from_dict(message["run"])
                 if on_run is not None:
@@ -726,7 +803,7 @@ class DispatchPool(Pool):
                     logger.info("[%s] %s done", config.name, benchmark)
             else:
                 info = message.get("info", {})
-                _merge_obs(info.get("obs"))
+                _settle_obs(lease_id, info.get("obs"))
                 _attempt_failed(
                     index,
                     info.get("error_type", "ReproError"),
@@ -761,8 +838,16 @@ class DispatchPool(Pool):
                 spawn_state["failures"] = 0
                 if worker.state == worker.STARTING:
                     worker.state = worker.IDLE
+                    _note_worker(wid, "idle")
             elif kind == "heartbeat":
-                table.renew(message.get("lease", ""), time.monotonic())
+                lease_id = message.get("lease", "")
+                renewed = table.renew(lease_id, time.monotonic())
+                # Piggybacked metrics delta: fold exactly once, and only
+                # for a live, non-partitioned lease — deltas of a
+                # reclaimed lease are stale by definition (their run will
+                # recommit elsewhere), and a partition eats its messages.
+                if renewed and plane is not None and "seq" in message:
+                    plane.live.fold(lease_id, message)
             elif kind == "result":
                 _handle_result(worker, message)
             else:
@@ -773,6 +858,7 @@ class DispatchPool(Pool):
         def _sweep(now: float) -> None:
             for lease in table.sweep(now):
                 _suspend_holder(lease)
+                _drop_stream(lease.lease_id)
                 logger.warning(
                     "lease %s on %s expired (no contact for > %.1fs); "
                     "reclaiming", lease.lease_id, tasks[lease.index][0],
@@ -796,6 +882,7 @@ class DispatchPool(Pool):
                 # cancelled in place) and charge the task.
                 table.reclaim(lease.lease_id)
                 _suspend_holder(lease)
+                _drop_stream(lease.lease_id)
                 holder = fleet.get(lease.worker)
                 if holder is not None and holder.state != holder.DEAD:
                     holder.kill()

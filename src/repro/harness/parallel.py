@@ -33,6 +33,8 @@ from __future__ import annotations
 
 import logging
 import os
+import socket
+import threading
 import time
 import traceback as traceback_module
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
@@ -87,8 +89,20 @@ def resolve_jobs(jobs: Optional[int]) -> int:
     return jobs
 
 
-def _worker_obs(runner: "ExperimentRunner") -> dict:
-    """A worker's observability shipment: timing view + spans + metrics."""
+def _worker_obs(
+    runner: "ExperimentRunner", worker: Optional[str] = None
+) -> dict:
+    """A worker's observability shipment: timing view + spans + metrics.
+
+    Each shipped root span is stamped with the executing host/pid (and
+    the dispatch worker id, when there is one) so the stitched campaign
+    trace records *where* every attempt ran.
+    """
+    attributes = {"host": socket.gethostname(), "pid": os.getpid()}
+    if worker is not None:
+        attributes["worker"] = worker
+    for root in runner.obs.tracer.roots:
+        root.set(**attributes)
     return {
         "timing": runner.timing.to_dict(),
         "spans": runner.obs.tracer.to_payload(),
@@ -119,7 +133,38 @@ def _adopt_shared_trace(runner: "ExperimentRunner", payload: dict) -> None:
         runner.adopt_trace(payload["benchmark"], trace)
 
 
-def _worker_run(payload: dict) -> tuple:
+def _start_streaming(
+    runner: "ExperimentRunner", telemetry: dict
+) -> Tuple[threading.Event, threading.Thread]:
+    """Push sequence-numbered metrics deltas onto the pool's progress
+    queue while the run executes (the local-pool face of the dispatch
+    heartbeat piggyback)."""
+    from ..obs.stream import DEFAULT_STREAM_INTERVAL, MetricsDeltaEncoder
+
+    encoder = MetricsDeltaEncoder(runner.obs.metrics)
+    interval = float(telemetry.get("interval", DEFAULT_STREAM_INTERVAL))
+    stream_id = telemetry["stream"]
+    queue = telemetry["queue"]
+    stop = threading.Event()
+
+    def _stream() -> None:
+        while not stop.wait(interval):
+            delta = encoder.next_delta()
+            if delta is None:
+                continue
+            try:
+                queue.put({"stream": stream_id, **delta})
+            except Exception:  # manager gone — the run outlives telemetry
+                return
+
+    thread = threading.Thread(
+        target=_stream, name="repro-stream", daemon=True
+    )
+    thread.start()
+    return stop, thread
+
+
+def _worker_run(payload: dict, runner_sink=None) -> tuple:
     """Execute one pipeline run inside a worker process.
 
     Rebuilds a local :class:`ExperimentRunner` (workers share only the
@@ -131,6 +176,14 @@ def _worker_run(payload: dict) -> tuple:
     or record the failure without the exception tearing down the suite.
     Non-library exceptions (genuine bugs) propagate through the future
     and abort the suite, exactly as on the serial path.
+
+    A ``trace_ctx`` in the payload joins the driver's distributed trace
+    (span ids minted under the task's origin, roots pointed at the
+    owning suite span).  A ``telemetry`` entry streams metrics deltas
+    onto the given queue while the run executes.  *runner_sink*, when
+    given, receives the freshly built runner before execution starts —
+    the dispatch worker uses it to tap the registry for heartbeat
+    piggybacking.
     """
     from . import faults
     from .runner import ExperimentRunner
@@ -146,6 +199,20 @@ def _worker_run(payload: dict) -> tuple:
         methods=payload["methods"],
         diagnostics=payload.get("diagnostics", True),
     )
+    context = payload.get("trace_ctx")
+    if context:
+        runner.obs.tracer.adopt_context(
+            trace_id=context.get("trace_id"),
+            parent_id=context.get("parent_id"),
+            origin=context.get("origin"),
+        )
+    if runner_sink is not None:
+        runner_sink(runner)
+    stream_stop = stream_thread = None
+    telemetry = payload.get("telemetry")
+    if telemetry is not None:
+        stream_stop, stream_thread = _start_streaming(runner, telemetry)
+    worker_label = payload.get("worker")
     _adopt_shared_trace(runner, payload)
     try:
         run = runner.run_benchmark(payload["benchmark"], payload["config"])
@@ -157,12 +224,15 @@ def _worker_run(payload: dict) -> tuple:
                 "error_message": str(error),
                 "traceback": traceback_module.format_exc(),
                 "stage": getattr(error, "_repro_stage", None),
-                "obs": _worker_obs(runner),
+                "obs": _worker_obs(runner, worker=worker_label),
             },
         )
     finally:
         faults.set_attempt(0)
-    return ("ok", run.to_dict(), _worker_obs(runner))
+        if stream_stop is not None:
+            stream_stop.set()
+            stream_thread.join()
+    return ("ok", run.to_dict(), _worker_obs(runner, worker=worker_label))
 
 
 def _kill_pool(pool: ProcessPoolExecutor) -> None:
@@ -238,6 +308,46 @@ def run_tasks_parallel(
 
     metrics = runner.obs.metrics
 
+    # Live telemetry (out-of-band; None unless --serve/--events-out):
+    # workers stream metrics deltas over a manager queue, keyed by a
+    # per-submission stream id so a requeued task never collides with
+    # the deltas of its abandoned predecessor.
+    plane = getattr(runner, "telemetry", None)
+    manager = None
+    progress_queue = None
+    streams: Dict[Future, str] = {}
+    stream_serial = [0]
+    if plane is not None:
+        import multiprocessing
+
+        manager = multiprocessing.Manager()
+        progress_queue = manager.Queue()
+
+    def _drain_streams() -> None:
+        if progress_queue is None:
+            return
+        while True:
+            try:
+                item = progress_queue.get_nowait()
+            except Exception:
+                return
+            plane.live.fold(str(item.get("stream", "")), item)
+
+    def _settle_stream(future: Future, merge) -> None:
+        """Drop the future's pending deltas and fold its committed obs
+        payload, atomically w.r.t. live scrapes."""
+        stream_id = streams.pop(future, None)
+        if plane is not None and stream_id is not None:
+            _drain_streams()
+            plane.live.resolve(stream_id, merge=merge)
+        else:
+            merge()
+
+    def _drop_stream(future: Future) -> None:
+        stream_id = streams.pop(future, None)
+        if plane is not None and stream_id is not None:
+            plane.live.discard(stream_id)
+
     # Publish each benchmark's trace once; workers attach zero-copy.
     # The parent owns the segments and unlinks them in the finally —
     # pool respawns re-attach by name, dead workers leak nothing.
@@ -291,6 +401,11 @@ def run_tasks_parallel(
             )
             metrics.counter(RUN_RETRIES).inc()
             metrics.histogram(RETRY_BACKOFF_SECONDS).observe(delay)
+            if plane is not None:
+                plane.events.emit(
+                    "retry", benchmark=benchmark, config=config.name,
+                    attempt=attempts[index], error=error_type,
+                )
             eligible[index] = time.monotonic() + delay
             queue.add(index)
         else:
@@ -313,7 +428,12 @@ def run_tasks_parallel(
         try:
             outcome = future.result()
         except BrokenProcessPool as error:
+            _drop_stream(future)
             metrics.counter(WORKER_CRASHES).inc()
+            if plane is not None:
+                plane.events.emit(
+                    "worker_dead", benchmark=benchmark, config=config.name,
+                )
             _attempt_failed(
                 index, "WorkerCrash",
                 f"worker process died mid-run ({error})",
@@ -322,6 +442,7 @@ def run_tasks_parallel(
         except ReproError as error:
             # A library error raised outside the worker's own capture
             # (e.g. payload validation in the worker's runner setup).
+            _drop_stream(future)
             _attempt_failed(
                 index, type(error).__name__, str(error),
                 traceback_module.format_exc(),
@@ -334,7 +455,7 @@ def run_tasks_parallel(
             ) from error
         if outcome[0] == "ok":
             _, run_payload, obs_payload = outcome
-            _merge_obs(obs_payload)
+            _settle_stream(future, lambda: _merge_obs(obs_payload))
             metrics.counter(RUNS_COMPLETED).inc()
             results[index] = BenchmarkRun.from_dict(run_payload)
             if on_run is not None:
@@ -343,7 +464,7 @@ def run_tasks_parallel(
                 logger.info("[%s] %s done", config.name, benchmark)
         else:
             info = outcome[1]
-            _merge_obs(info.get("obs"))
+            _settle_stream(future, lambda: _merge_obs(info.get("obs")))
             _attempt_failed(
                 index, info["error_type"], info["error_message"],
                 info["traceback"], info.get("stage"),
@@ -369,12 +490,28 @@ def run_tasks_parallel(
                 payload = dict(
                     payload_base, benchmark=benchmark, config=config,
                     attempt=attempts[index],
+                    trace_ctx=runner.obs.tracer.export_context(
+                        f"{benchmark}:{config.name}:a{attempts[index]}"
+                    ),
                 )
+                stream_id = None
+                if plane is not None:
+                    stream_serial[0] += 1
+                    stream_id = (
+                        f"pool:{benchmark}:{config.name}"
+                        f":s{stream_serial[0]}"
+                    )
+                    payload["telemetry"] = {
+                        "queue": progress_queue, "stream": stream_id,
+                    }
                 try:
-                    pending[pool.submit(_worker_run, payload)] = index
+                    future = pool.submit(_worker_run, payload)
                 except BrokenProcessPool:
                     queue.add(index)
                     break
+                pending[future] = index
+                if stream_id is not None:
+                    streams[future] = stream_id
 
             waits = []
             if queue:
@@ -392,6 +529,7 @@ def run_tasks_parallel(
             done, _ = wait(
                 set(pending), timeout=timeout, return_when=FIRST_COMPLETED
             )
+            _drain_streams()
             broken = any([_handle_done(future) for future in done])
             if broken:
                 # Every other in-flight future is doomed too; drain them
@@ -404,10 +542,13 @@ def run_tasks_parallel(
                     # requeue it at its current attempt count.
                     index = pending.pop(future)
                     running_since.pop(future, None)
+                    _drop_stream(future)
                     queue.add(index)
                 _kill_pool(pool)
                 pool = ProcessPoolExecutor(max_workers=workers)
                 metrics.counter(POOL_RESPAWNS).inc()
+                if plane is not None:
+                    plane.events.emit("pool_respawn", workers=workers)
                 logger.warning("worker pool died; respawned %d workers",
                                workers)
                 continue
@@ -433,6 +574,7 @@ def run_tasks_parallel(
             for future in timed_out:
                 index = pending.pop(future)
                 running_since.pop(future, None)
+                _drop_stream(future)
                 metrics.counter(RUN_TIMEOUTS).inc()
                 _attempt_failed(
                     index, "RunTimeout",
@@ -441,11 +583,14 @@ def run_tasks_parallel(
             for future in list(pending):
                 index = pending.pop(future)
                 running_since.pop(future, None)
+                _drop_stream(future)
                 queue.add(index)
                 eligible[index] = 0.0
             _kill_pool(pool)
             pool = ProcessPoolExecutor(max_workers=workers)
             metrics.counter(POOL_RESPAWNS).inc()
+            if plane is not None:
+                plane.events.emit("pool_respawn", workers=workers)
             logger.warning(
                 "per-run timeout (%.1fs) hit; pool respawned with %d "
                 "workers", policy.timeout, workers,
@@ -462,4 +607,6 @@ def run_tasks_parallel(
                 segment.unlink()
             except OSError:  # pragma: no cover - already gone
                 pass
+        if manager is not None:
+            manager.shutdown()
     return assemble_outcome(tasks, results, failures)

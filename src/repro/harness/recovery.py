@@ -361,6 +361,13 @@ def run_tasks_serial(
                 logger.warning("run failed: %s", failure.describe())
                 if attempt + 1 < policy.max_attempts:
                     metrics.counter(RUN_RETRIES).inc()
+                    plane = getattr(runner, "telemetry", None)
+                    if plane is not None:
+                        plane.events.emit(
+                            "retry", benchmark=benchmark,
+                            config=config.name, attempt=attempt + 1,
+                            error=failure.error_type,
+                        )
                     continue
                 metrics.counter(RUN_FAILURES).inc()
                 if policy.fail_fast:

@@ -272,6 +272,11 @@ class ExperimentRunner:
         #: lands here; workers ship theirs back for merging.
         self.obs = ObsContext()
         self.cache.bind_metrics(self.obs.metrics)
+        #: Live telemetry plane (:class:`~repro.obs.stream.TelemetryPlane`)
+        #: attached by the CLI's ``--serve``/``--events-out``; ``None``
+        #: keeps every telemetry hook a no-op.  Strictly out-of-band:
+        #: results are identical with or without a plane.
+        self.telemetry = None
         #: Per-stage wall-clock records of every pipeline run (a
         #: compatibility view over the obs span trees).
         self.timing = SuiteTiming(obs=self.obs)
@@ -396,6 +401,11 @@ class ExperimentRunner:
                     logger.debug(
                         "[%s] %s: cache hit", config.name, benchmark
                     )
+                    if self.telemetry is not None:
+                        self.telemetry.events.emit(
+                            "cache_hit", benchmark=benchmark,
+                            config=config.name,
+                        )
                     run = self._select_methods(cached)
                     # Gauges, not counters, so re-recording on every hit
                     # is idempotent and a cached run still surfaces its
@@ -408,6 +418,11 @@ class ExperimentRunner:
                 )
             else:
                 compute = list(self.methods)
+            if self.telemetry is not None:
+                self.telemetry.events.emit(
+                    "cache_miss", benchmark=benchmark, config=config.name,
+                    methods=len(compute),
+                )
 
             with self.timing.stage(record, "trace_build"):
                 trace = self.trace(benchmark)
@@ -655,16 +670,40 @@ class ExperimentRunner:
             task for index, task in enumerate(tasks) if index not in preloaded
         ]
 
+        plane = self.telemetry
+
         def _journal_run(_: int, run: BenchmarkRun) -> None:
             if suite_journal is not None:
                 suite_journal.record_run(
                     run.benchmark, run.config_name, run.to_dict()
                 )
+            if plane is not None:
+                plane.progress.run_done(run.benchmark)
+                plane.events.emit(
+                    "run_done", benchmark=run.benchmark,
+                    config=run.config_name,
+                )
 
         def _journal_failure(_: int, failure) -> None:
             if suite_journal is not None:
                 suite_journal.record_failure(failure)
+            if plane is not None:
+                plane.progress.run_failed(failure.benchmark)
+                plane.events.emit(
+                    "run_failed", benchmark=failure.benchmark,
+                    config=failure.config_name, error=failure.error_type,
+                )
 
+        if plane is not None:
+            plane.progress.begin_suite(
+                len(tasks), resumed=len(preloaded)
+            )
+            plane.events.emit(
+                "suite_begin", config=config.name, runs=len(tasks),
+                resumed=len(preloaded), jobs=jobs,
+                backend=(pool.describe() if pool is not None else
+                         ("serial" if jobs == 1 else "pool")),
+            )
         began = time.perf_counter()
         try:
             # The suite span is the parent of every run span below it —
@@ -699,6 +738,9 @@ class ExperimentRunner:
                     executed = SuiteOutcome(())
         finally:
             self.timing.wall_seconds += time.perf_counter() - began
+            if plane is not None:
+                plane.progress.end_suite()
+                plane.events.emit("suite_end", config=config.name)
 
         # Reassemble in suite order: journal-restored runs plus whatever
         # just executed (tasks are unique (benchmark, config) pairs).

@@ -143,16 +143,37 @@ def _execute_task(
 
     stop = threading.Event()
 
+    # The heartbeat thread piggybacks incremental metrics snapshots:
+    # once _worker_run hands us its runner (via the sink), every beat
+    # carries the delta since the previous one under a monotonic
+    # sequence number, so the dispatcher's LiveRegistry can fold each
+    # exactly once.  A dropped/withheld heartbeat loses nothing — the
+    # final result payload carries the authoritative registry.
+    tap: Dict[str, Any] = {}
+
+    def _runner_sink(runner: Any) -> None:
+        from ..obs.stream import MetricsDeltaEncoder
+
+        tap["encoder"] = MetricsDeltaEncoder(runner.obs.metrics)
+
     def _heartbeat() -> None:
         while not stop.wait(heartbeat_interval):
-            if not drop_heartbeats:
-                outbox.send({"type": "heartbeat", "lease": lease})
+            if drop_heartbeats:
+                continue
+            beat: Dict[str, Any] = {"type": "heartbeat", "lease": lease}
+            encoder = tap.get("encoder")
+            if encoder is not None:
+                delta = encoder.next_delta()
+                if delta is not None:
+                    beat["seq"] = delta["seq"]
+                    beat["metrics"] = delta["metrics"]
+            outbox.send(beat)
 
     beater = threading.Thread(target=_heartbeat, daemon=True)
     beater.start()
     try:
         try:
-            outcome = _worker_run(payload)
+            outcome = _worker_run(payload, runner_sink=_runner_sink)
         except BaseException:
             # Non-library failure (a genuine bug): report it so the
             # dispatcher can abort the campaign with the traceback

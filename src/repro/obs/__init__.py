@@ -13,6 +13,18 @@ makes.  Four pieces:
   ``repro obs report`` tree/table view;
 * :mod:`repro.obs.manifest` — per-invocation provenance records.
 
+The live telemetry plane (PR 10) adds four more:
+
+* :mod:`repro.obs.stream` — delta-encoded metrics streaming with
+  exactly-once folding (:class:`LiveRegistry`) plus the progress board
+  and the :class:`TelemetryPlane` bundle;
+* :mod:`repro.obs.serve` — the ``/metrics`` / ``/healthz`` /
+  ``/progress`` / ``/events`` HTTP endpoints behind ``--serve``;
+* :mod:`repro.obs.events` — the bounded flight-recorder ring behind
+  ``repro obs events``;
+* :mod:`repro.obs.flame` — folded-stack flamegraph export behind
+  ``repro obs flame``.
+
 See the "Observability" section of DESIGN.md for the span model and
 merge semantics.
 """
@@ -26,15 +38,25 @@ from .diag import (
     format_diag_report,
     record_diag_metrics,
 )
+from .events import (
+    EventLog,
+    follow_events,
+    format_event,
+    match_event,
+    parse_filters,
+    read_events,
+)
 from .export import (
     TraceDump,
     format_trace_report,
     read_trace_jsonl,
     render_prometheus,
     trace_records,
+    trace_report_json,
     write_prometheus,
     write_trace_jsonl,
 )
+from .flame import folded_stacks, render_folded, write_folded
 from .history import (
     HISTORY_VERSION,
     HistoryDiff,
@@ -73,6 +95,8 @@ from .metrics import (
     RUN_TIMEOUTS,
     RUNS_COMPLETED,
     STAGE_SECONDS,
+    TELEMETRY_DELTAS,
+    TELEMETRY_DROPPED,
     TRACE_SHM_ATTACHED,
     TRACE_SHM_BYTES,
     TRACE_SHM_FALLBACKS,
@@ -82,8 +106,19 @@ from .metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    help_text,
+    register_help,
 )
+from .serve import TelemetryServer
 from .spans import Span, Tracer, traced
+from .stream import (
+    DEFAULT_STREAM_INTERVAL,
+    LiveRegistry,
+    MetricsDeltaEncoder,
+    ProgressBoard,
+    TelemetryPlane,
+    copy_registry,
+)
 
 __all__ = [
     "CACHE_CORRUPT",
@@ -91,6 +126,7 @@ __all__ = [
     "CACHE_MISSES",
     "Counter",
     "DEFAULT_BUCKETS",
+    "DEFAULT_STREAM_INTERVAL",
     "DETAILED_CALLS",
     "DETAILED_INSTRUCTIONS",
     "DISPATCH_HEARTBEATS",
@@ -100,6 +136,7 @@ __all__ = [
     "DISPATCH_RECLAIMS",
     "DISPATCH_STALE_COMMITS",
     "DISPATCH_STEALS",
+    "EventLog",
     "FAULTS_INJECTED",
     "FUNCTIONAL_INSTRUCTIONS",
     "Gauge",
@@ -108,11 +145,14 @@ __all__ = [
     "HistoryDiff",
     "HistoryRecord",
     "JOURNAL_TORN",
+    "LiveRegistry",
     "MANIFEST_VERSION",
     "MethodDiag",
+    "MetricsDeltaEncoder",
     "MetricsRegistry",
     "ObsContext",
     "PhaseDiag",
+    "ProgressBoard",
     "POOL_RESPAWNS",
     "PROFILE_PASSES",
     "RETRY_BACKOFF_SECONDS",
@@ -125,28 +165,44 @@ __all__ = [
     "RunManifest",
     "STAGE_SECONDS",
     "Span",
+    "TELEMETRY_DELTAS",
+    "TELEMETRY_DROPPED",
     "TRACE_SHM_ATTACHED",
     "TRACE_SHM_BYTES",
     "TRACE_SHM_FALLBACKS",
     "TRACE_SHM_SHARED",
+    "TelemetryPlane",
+    "TelemetryServer",
     "TraceDump",
     "Tracer",
     "WORKER_CRASHES",
     "build_method_diag",
+    "copy_registry",
     "diag_views",
     "diff_records",
+    "folded_stacks",
+    "follow_events",
     "format_diag_report",
     "format_diff",
+    "format_event",
     "format_history",
     "format_trace_report",
+    "help_text",
     "host_fingerprint",
+    "match_event",
+    "parse_filters",
+    "read_events",
     "read_trace_jsonl",
     "record_diag_metrics",
     "record_from_bench",
     "record_from_manifest",
+    "register_help",
+    "render_folded",
     "render_prometheus",
     "trace_records",
+    "trace_report_json",
     "traced",
+    "write_folded",
     "write_prometheus",
     "write_trace_jsonl",
 ]

@@ -43,6 +43,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from .metrics import register_help
+
 # ----------------------------------------------------------------------
 # well-known diagnostic metric names (all gauges: re-recording a run's
 # diagnostics must be idempotent, so counters are wrong here)
@@ -66,6 +68,30 @@ DIAG_COVERAGE_DISCARDED = "repro_diag_coverage_discarded"
 DIAG_RESAMPLE_THRESHOLD = "repro_diag_resample_threshold"
 DIAG_N_CLUSTERS = "repro_diag_n_clusters"
 DIAG_N_INTERVALS = "repro_diag_n_intervals"
+
+for _name, _help in (
+    (DIAG_PHASE_ERROR, "Per-phase absolute error vs the baseline."),
+    (DIAG_RESIDUAL, "Total error minus attributed per-phase error."),
+    (DIAG_TOTAL_ERROR, "Whole-run absolute error vs the baseline."),
+    (DIAG_PHASE_WEIGHT, "Fraction of intervals assigned to the phase."),
+    (DIAG_PHASE_INSTRUCTIONS, "Instructions attributed to the phase."),
+    (DIAG_PHASE_MEMBERS, "Interval count of the phase's cluster."),
+    (DIAG_POINT_SIZE, "Representative point size in instructions."),
+    (DIAG_REP_DISTANCE, "Representative-to-centroid distance."),
+    (DIAG_MEAN_DISTANCE, "Mean member-to-centroid distance."),
+    (DIAG_CLUSTER_VARIANCE, "Signature variance within the cluster."),
+    (DIAG_SILHOUETTE, "Silhouette score of the clustering."),
+    (DIAG_REP_VALUE, "Metric value measured at the representative."),
+    (DIAG_PHASE_VALUE, "Metric value attributed to the whole phase."),
+    (DIAG_OVERSIZED, "Phases whose point exceeded the size budget."),
+    (DIAG_RESAMPLED, "Phases re-sampled after a coverage check."),
+    (DIAG_COVERAGE_DISCARDED, "Intervals discarded by coverage checks."),
+    (DIAG_RESAMPLE_THRESHOLD, "Coverage threshold that triggers resampling."),
+    (DIAG_N_CLUSTERS, "Clusters in the sampling plan."),
+    (DIAG_N_INTERVALS, "Intervals in the profiled trace."),
+):
+    register_help(_name, _help)
+del _name, _help
 
 #: The accuracy metrics attribution covers, in reporting order.
 DIAG_METRICS: Tuple[str, ...] = ("cpi", "l1", "l2")

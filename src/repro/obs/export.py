@@ -23,7 +23,7 @@ from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..errors import ObservabilityError
-from .metrics import MetricsRegistry
+from .metrics import MetricsRegistry, help_text
 from .spans import Span, Tracer
 
 #: Format marker on the manifest/first record; bump on layout changes.
@@ -49,6 +49,14 @@ def _span_records(
     }
     if span.error is not None:
         record["error"] = span.error
+    # Stable distributed-trace identity, alongside the export-time
+    # integer links that keep old readers working.
+    if span.span_id is not None:
+        record["span_id"] = span.span_id
+    if span.parent_id is not None:
+        record["parent_span_id"] = span.parent_id
+    if span.trace_id is not None:
+        record["trace_id"] = span.trace_id
     if span.attributes:
         record["attributes"] = dict(span.attributes)
     yield record
@@ -131,6 +139,9 @@ def read_trace_jsonl(path) -> TraceDump:
             span.duration = record.get("duration")
             span.status = record.get("status", "ok")
             span.error = record.get("error")
+            span.span_id = record.get("span_id")
+            span.parent_id = record.get("parent_span_id")
+            span.trace_id = record.get("trace_id")
             by_id[record["id"]] = span
             parent = record.get("parent")
             if parent is None:
@@ -176,6 +187,7 @@ def render_prometheus(registry: MetricsRegistry) -> str:
     typed = set()
     for name, labels, metric in registry.samples():
         if name not in typed:
+            lines.append(f"# HELP {name} {help_text(name)}")
             lines.append(f"# TYPE {name} {metric.kind}")
             typed.add(name)
         if metric.kind in ("counter", "gauge"):
@@ -211,6 +223,31 @@ def write_prometheus(path, registry: MetricsRegistry) -> None:
 # ----------------------------------------------------------------------
 def _seconds(span: Span) -> float:
     return span.duration if span.duration is not None else 0.0
+
+
+def trace_report_json(dump: TraceDump) -> dict:
+    """One JSON document per trace: manifest + span forest + metrics +
+    the per-name aggregates the human report tabulates.
+
+    This is the machine-readable face of ``repro obs report`` (the
+    ``--json`` flag) so CI and dashboards stop scraping the tree
+    renderer.
+    """
+    totals: Dict[str, List[float]] = {}
+    for span in dump.spans():
+        entry = totals.setdefault(span.name, [0, 0.0])
+        entry[0] += 1
+        entry[1] += _seconds(span)
+    return {
+        "format": TRACE_FORMAT_VERSION,
+        "manifest": dump.manifest,
+        "spans": [root.to_dict() for root in dump.roots],
+        "span_totals": {
+            name: {"count": int(count), "seconds": seconds}
+            for name, (count, seconds) in sorted(totals.items())
+        },
+        "metrics": dump.metrics.to_dict()["metrics"],
+    }
 
 
 def _tree_lines(

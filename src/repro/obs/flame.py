@@ -1,0 +1,72 @@
+"""Folded-stack flamegraph export from span trees.
+
+Converts a trace dump into the classic ``stack;frames value`` folded
+format consumed by ``flamegraph.pl``, speedscope, and friends — one
+line per unique root-to-span path, value = the span's *self* time in
+integer microseconds (duration minus time attributed to its children,
+clamped at zero so re-parented worker trees whose children overlap
+their parent never go negative).  Identical stacks are summed, output
+is sorted, so the export is deterministic for a given trace.
+
+Frame names carry the benchmark attribute when present
+(``run[gzip]``), which keeps per-benchmark towers separate in the
+rendered graph without exploding the frame alphabet.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Iterable, List
+
+from .export import TraceDump
+from .spans import Span
+
+#: Span attributes appended to a frame name, in order, as ``[value]``.
+FRAME_QUALIFIERS = ("benchmark",)
+
+
+def _frame_name(span: Span) -> str:
+    name = span.name.replace(";", ",")
+    for key in FRAME_QUALIFIERS:
+        if key in span.attributes:
+            name += f"[{span.attributes[key]}]"
+    return name
+
+
+def _self_micros(span: Span) -> int:
+    total = span.duration if span.duration is not None else 0.0
+    children = sum(
+        c.duration for c in span.children if c.duration is not None
+    )
+    return max(int(round((total - children) * 1_000_000)), 0)
+
+
+def folded_stacks(roots: Iterable[Span]) -> List[str]:
+    """``stack;of;frames value`` lines, sorted, identical stacks summed."""
+    weights: Dict[str, int] = {}
+
+    def walk(span: Span, stack: List[str]) -> None:
+        stack = stack + [_frame_name(span)]
+        micros = _self_micros(span)
+        if micros > 0 or not span.children:
+            key = ";".join(stack)
+            weights[key] = weights.get(key, 0) + micros
+        for child in span.children:
+            walk(child, stack)
+
+    for root in roots:
+        walk(root, [])
+    return [f"{stack} {value}" for stack, value in sorted(weights.items())]
+
+
+def render_folded(dump: TraceDump) -> str:
+    """The full folded-stack document for a parsed trace dump."""
+    lines = folded_stacks(dump.roots)
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_folded(path, dump: TraceDump) -> int:
+    """Write folded stacks to *path*; returns the line count."""
+    text = render_folded(dump)
+    Path(path).write_text(text)
+    return len([line for line in text.splitlines() if line])

@@ -60,6 +60,61 @@ DISPATCH_LEASE_SECONDS = "repro_dispatch_lease_seconds"
 JOURNAL_TORN = "repro_journal_torn_total"
 TRACE_IMPORT_REJECTED = "repro_trace_import_rejected_total"
 RETRY_BACKOFF_SECONDS = "repro_retry_backoff_seconds"
+TELEMETRY_DELTAS = "repro_telemetry_deltas_total"
+TELEMETRY_DROPPED = "repro_telemetry_dropped_total"
+
+# ----------------------------------------------------------------------
+# Prometheus HELP text, registered next to the names so the exposition
+# (`render_prometheus`) can emit `# HELP` before every `# TYPE`.
+# Modules that define their own metric families (diag, bench) register
+# theirs via :func:`register_help` at import time.
+# ----------------------------------------------------------------------
+_METRIC_HELP: Dict[str, str] = {
+    CACHE_HITS: "Result-cache lookups served from a committed entry.",
+    CACHE_MISSES: "Result-cache lookups that fell through to a real run.",
+    CACHE_CORRUPT: "Result-cache entries rejected as corrupt and evicted.",
+    RUNS_COMPLETED: "Pipeline runs that finished and committed a result.",
+    RUN_RETRIES: "Run attempts retried after a failure.",
+    RUN_FAILURES: "Runs abandoned after exhausting their retry budget.",
+    RUN_TIMEOUTS: "Run attempts killed by the per-run deadline.",
+    WORKER_CRASHES: "Worker processes that died mid-task.",
+    POOL_RESPAWNS: "Process-pool rebuilds after a broken pool.",
+    FAULTS_INJECTED: "Faults fired by the $REPRO_FAULTS injection plan.",
+    STAGE_SECONDS: "Wall seconds per pipeline stage.",
+    RUN_SECONDS: "Wall seconds per pipeline run (all stages).",
+    DETAILED_INSTRUCTIONS: "Instructions executed in detailed simulation.",
+    DETAILED_CALLS: "Detailed-simulation invocations.",
+    FUNCTIONAL_INSTRUCTIONS: "Instructions executed functionally.",
+    PROFILE_PASSES: "Profiling passes over the instruction trace.",
+    TRACE_SHM_SHARED: "Traces published to shared memory by the driver.",
+    TRACE_SHM_ATTACHED: "Worker attachments to a shared-memory trace.",
+    TRACE_SHM_FALLBACKS: "Workers that rebuilt a trace after shm fallback.",
+    TRACE_SHM_BYTES: "Bytes of trace data published to shared memory.",
+    DISPATCH_LEASES: "Task leases granted by the dispatcher.",
+    DISPATCH_HEARTBEATS: "Worker heartbeats accepted by the dispatcher.",
+    DISPATCH_MISSED: "Heartbeat deadlines missed by leased tasks.",
+    DISPATCH_RECLAIMS: "Leases reclaimed from unresponsive workers.",
+    DISPATCH_STEALS: "Reclaimed tasks re-granted to a different worker.",
+    DISPATCH_STALE_COMMITS: "Results rejected because their lease was stale.",
+    DISPATCH_LEASE_SECONDS: "Lease lifetime from grant to settle.",
+    JOURNAL_TORN: "Torn trailing journal lines healed during resume.",
+    TRACE_IMPORT_REJECTED: "External trace records rejected by the importer.",
+    RETRY_BACKOFF_SECONDS: "Backoff slept between retry attempts.",
+    TELEMETRY_DELTAS: "Streamed metrics deltas folded into the live registry.",
+    TELEMETRY_DROPPED: "Streamed metrics deltas discarded (duplicate, gap, "
+                       "or stale stream).",
+}
+
+
+def register_help(name: str, text: str) -> None:
+    """Register Prometheus ``# HELP`` text for a metric family."""
+    _METRIC_HELP[name] = " ".join(text.split())
+
+
+def help_text(name: str) -> str:
+    """The registered help for *name* (a neutral default when unset)."""
+    return _METRIC_HELP.get(name, f"Metric {name} recorded by the repro "
+                                  f"harness (no help registered).")
 
 #: Default histogram bucket upper bounds (seconds) — spans pipeline
 #: stages from sub-millisecond cache hits to multi-minute baselines.

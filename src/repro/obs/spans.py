@@ -24,6 +24,15 @@ The tracer is deliberately tiny and dependency-free:
 
 An exception escaping a span context marks the span ``status="error"``
 with the exception class recorded, and still propagates.
+
+Spans also carry a stable identity — ``span_id`` / ``parent_id`` /
+``trace_id`` — assigned by the tracer from a deterministic per-tracer
+counter (``origin:serial``), never from randomness, so two runs of the
+same suite produce the same ids.  The driver hands workers a *trace
+context* (:meth:`Tracer.export_context`) inside the task payload; the
+worker adopts it (:meth:`Tracer.adopt_context`) so the root spans it
+ships back already point at the owning ``suite``/``run`` span, stitching
+one coherent cross-process trace per campaign.
 """
 
 from __future__ import annotations
@@ -42,7 +51,7 @@ class Span:
 
     __slots__ = (
         "name", "attributes", "children", "started_at", "duration",
-        "status", "error", "_began",
+        "status", "error", "span_id", "parent_id", "trace_id", "_began",
     )
 
     def __init__(self, name: str, attributes: Optional[Dict[str, Any]] = None):
@@ -55,6 +64,11 @@ class Span:
         self.duration: Optional[float] = None
         self.status = "ok"
         self.error: Optional[str] = None
+        #: Stable identity, assigned by the owning :class:`Tracer`; a
+        #: bare ``Span()`` (e.g. rebuilt from a legacy dump) has none.
+        self.span_id: Optional[str] = None
+        self.parent_id: Optional[str] = None
+        self.trace_id: Optional[str] = None
         self._began = time.perf_counter()
 
     # ------------------------------------------------------------------
@@ -104,6 +118,12 @@ class Span:
         }
         if self.error is not None:
             payload["error"] = self.error
+        if self.span_id is not None:
+            payload["span_id"] = self.span_id
+        if self.parent_id is not None:
+            payload["parent_id"] = self.parent_id
+        if self.trace_id is not None:
+            payload["trace_id"] = self.trace_id
         if self.attributes:
             payload["attributes"] = dict(self.attributes)
         if self.children:
@@ -118,6 +138,9 @@ class Span:
         span.duration = payload.get("duration")
         span.status = payload.get("status", "ok")
         span.error = payload.get("error")
+        span.span_id = payload.get("span_id")
+        span.parent_id = payload.get("parent_id")
+        span.trace_id = payload.get("trace_id")
         span.children = [
             Span.from_dict(c) for c in payload.get("children", ())
         ]
@@ -132,14 +155,54 @@ class Tracer:
     is process-based), which is exactly the regime this supports.
     """
 
-    def __init__(self) -> None:
+    def __init__(
+        self, origin: str = "main", trace_id: Optional[str] = None
+    ) -> None:
         self.roots: List[Span] = []
         self._stack: List[Span] = []
+        #: Prefix of every span id this tracer assigns; unique per
+        #: process role (the driver is ``main``, workers derive theirs
+        #: from the task identity) so merged trees never collide.
+        self.origin = origin
+        self.trace_id = trace_id if trace_id is not None else f"T-{origin}"
+        self._serial = 0
+        #: ``parent_id`` stamped on new roots — the driver-side span a
+        #: worker's trees will re-attach under (from adopt_context).
+        self._context_parent: Optional[str] = None
 
     # ------------------------------------------------------------------
     def current(self) -> Optional[Span]:
         """The innermost active ``span()`` context, if any."""
         return self._stack[-1] if self._stack else None
+
+    def adopt_context(
+        self,
+        trace_id: Optional[str] = None,
+        parent_id: Optional[str] = None,
+        origin: Optional[str] = None,
+    ) -> None:
+        """Join a distributed trace started elsewhere.
+
+        Workers call this with the context the driver put in the task
+        payload: subsequent spans carry the campaign's ``trace_id``, ids
+        are minted under *origin*, and new roots point their
+        ``parent_id`` at the driver-side owning span.
+        """
+        if origin is not None:
+            self.origin = origin
+        if trace_id is not None:
+            self.trace_id = trace_id
+        self._context_parent = parent_id
+
+    def export_context(self, origin: str) -> dict:
+        """The trace context to embed in a task payload for a worker
+        whose tracer should mint ids under *origin*."""
+        parent = self.current()
+        return {
+            "trace_id": self.trace_id,
+            "parent_id": parent.span_id if parent is not None else None,
+            "origin": origin,
+        }
 
     def start_span(
         self, name: str, parent: Any = CURRENT, **attributes: Any
@@ -154,9 +217,14 @@ class Tracer:
         if parent is CURRENT:
             parent = self.current()
         span = Span(name, attributes)
+        self._serial += 1
+        span.span_id = f"{self.origin}:{self._serial}"
+        span.trace_id = self.trace_id
         if parent is not None:
+            span.parent_id = parent.span_id
             parent.children.append(span)
         else:
+            span.parent_id = self._context_parent
             self.roots.append(span)
         return span
 
@@ -199,6 +267,13 @@ class Tracer:
         for item in payload:
             span = Span.from_dict(item)
             if parent is not None:
+                # Stitch id-less legacy trees under their new parent;
+                # trees that travelled with a trace context already
+                # point at the right driver-side span.
+                if span.parent_id is None:
+                    span.parent_id = parent.span_id
+                if span.trace_id is None:
+                    span.trace_id = parent.trace_id
                 parent.children.append(span)
             else:
                 self.roots.append(span)

@@ -426,6 +426,13 @@ class TestHarnessInstrumentation:
             isinstance(v, float) and v >= 0 for v in run["stages"].values()
         )
         assert run["total_seconds"] > 0
+        # Span identity (span_id/parent_id/trace_id, the stitched-trace
+        # fields) must not leak into the compatibility view: the shim's
+        # serialised shape is unchanged by the id fields.
+        id_fields = {"span_id", "parent_id", "trace_id", "id", "parent"}
+        assert id_fields.isdisjoint(payload)
+        assert id_fields.isdisjoint(run)
+        assert id_fields.isdisjoint(run["stages"])
 
 
 # ----------------------------------------------------------------------
